@@ -1,0 +1,13 @@
+"""Small helpers shared by the benchmark modules (not a benchmark itself)."""
+
+from __future__ import annotations
+
+
+def scale_note(result) -> str:
+    """One-line description of the simulated scale, printed by every benchmark."""
+    population = len(result.population)
+    days = result.config.duration / 86_400.0
+    return (
+        f"[simulated scale: {population} peers, {days:.2f} d, seed {result.config.seed}; "
+        f"paper scale: ~62k connected PIDs]"
+    )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Meta-data analysis and anomaly detection (Section IV.B).
+
+A passive measurement node learns each peer's agent-version string and
+supported protocols through the identify protocol.  The paper uses that meta
+data to characterise the population and to spot anomalies:
+
+* go-ipfs agents that do **not** support Bitswap but announce ``/sbptp/`` —
+  the signature of IPStorm botnet nodes hiding behind a go-ipfs 0.8.0 agent,
+* peers that repeatedly announce/retract ``/ipfs/kad/1.0.0`` (DHT-Server ↔
+  DHT-Client role flapping) or ``/libp2p/autonat/1.0.0``,
+* agent up- and downgrades, including "dirty" locally-modified builds.
+
+Run with::
+
+    python examples/anomaly_detection.py
+"""
+
+from repro.analysis.plots import ascii_bar_chart
+from repro.core.metadata import analyze_metadata
+from repro.experiments.runner import run_period_cached
+
+
+def main() -> None:
+    print("Simulating a P4-style measurement for the meta-data analysis…")
+    result = run_period_cached("P4", n_peers=800, duration_days=1.0, seed=5,
+                               run_crawler=False)
+    dataset = result.dataset("go-ipfs")
+    report = analyze_metadata(dataset, group_threshold=2)
+
+    # -- population composition --------------------------------------------------------
+    agents = report.agents
+    print(
+        f"\nAgent composition of {agents.total_peers} PIDs: "
+        f"{agents.goipfs_peers} go-ipfs, {agents.hydra_peers} hydra, "
+        f"{agents.crawler_peers} crawler, {agents.other_peers} other, "
+        f"{agents.missing_peers} without identify"
+    )
+    print("\nAgent occurrences (grouped, Fig. 3 style):")
+    print(ascii_bar_chart(agents.grouped, max_rows=15))
+
+    protocols = report.protocols
+    print("\nMost common protocols (Fig. 4 style):")
+    print(ascii_bar_chart(dict(protocols.top_protocols(12)), max_rows=12))
+
+    # -- anomalies ---------------------------------------------------------------------------
+    print("\nAnomaly indicators:")
+    print(
+        f"  go-ipfs agents without Bitswap support: {protocols.goipfs_without_bitswap} "
+        f"(of which {protocols.goipfs_with_sbptp} announce /sbptp/ — storm-like)"
+    )
+    print(f"  peers without any identify information: {agents.missing_peers}")
+
+    # -- version changes ------------------------------------------------------------------------
+    versions = report.versions
+    print(
+        f"\ngo-ipfs version changes: {versions.upgrades} upgrades, "
+        f"{versions.downgrades} downgrades, {versions.changes} commit-only changes "
+        f"(main–main {versions.main_to_main}, dirty–dirty {versions.dirty_to_dirty}, "
+        f"cross {versions.dirty_to_main + versions.main_to_dirty})"
+    )
+
+    # -- protocol flapping -------------------------------------------------------------------------
+    print(
+        f"\nRole flapping: {report.kad_flaps.peers} peers changed their /ipfs/kad/1.0.0 "
+        f"announcement {report.kad_flaps.changes} times "
+        f"({report.kad_flaps.changes_per_peer:.1f} changes per flapping peer)"
+    )
+    print(
+        f"Autonat flapping: {report.autonat_flaps.peers} peers, "
+        f"{report.autonat_flaps.changes} changes"
+    )
+    print(
+        "\nAs the paper notes, exotic agent/protocol combinations are stable enough to\n"
+        "re-identify peers across PID changes — useful for measurement, concerning for privacy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` keeps working on offline machines that lack the
+``wheel`` package (pip then falls back to the legacy ``setup.py develop``
+code path, which does not need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

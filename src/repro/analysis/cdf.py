@@ -1,0 +1,116 @@
+"""Empirical cumulative distribution functions.
+
+Fig. 7 of the paper plots two CDFs: the maximum connection duration per PID
+(grouped into 30 s intervals) and the number of connections per PID, each split
+into "all", "DHT-Server", and "DHT-Client" series.  :class:`EmpiricalCDF`
+provides exactly the operations the benchmark harness needs to regenerate those
+series and to check the anchor fractions the paper reports (e.g. "around 53 %
+are connected less than 1 h").
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class EmpiricalCDF:
+    """Empirical CDF over a numeric sample.
+
+    The CDF is right-continuous: ``fraction_at(x)`` returns
+    ``P(X <= x)`` under the empirical distribution.
+    """
+
+    values: List[float]
+
+    def __init__(self, values: Iterable[float]):
+        self.values = sorted(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def fraction_at(self, x: float) -> float:
+        """Return the empirical ``P(X <= x)``."""
+        if not self.values:
+            return 0.0
+        idx = bisect.bisect_right(self.values, x)
+        return idx / len(self.values)
+
+    def fraction_above(self, x: float) -> float:
+        """Return the empirical ``P(X > x)``."""
+        return 1.0 - self.fraction_at(x)
+
+    def quantile(self, q: float) -> float:
+        """Return the smallest value ``v`` with ``P(X <= v) >= q``."""
+        if not self.values:
+            raise ValueError("quantile of an empty CDF")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if q == 0.0:
+            return self.values[0]
+        idx = max(0, min(len(self.values) - 1, int(q * len(self.values) + 0.5) - 1))
+        return self.values[idx]
+
+    def points(self) -> List[Tuple[float, float]]:
+        """Return the (value, cumulative fraction) step points of the CDF."""
+        n = len(self.values)
+        pts: List[Tuple[float, float]] = []
+        for i, v in enumerate(self.values, start=1):
+            if pts and pts[-1][0] == v:
+                pts[-1] = (v, i / n)
+            else:
+                pts.append((v, i / n))
+        return pts
+
+    def sampled(self, xs: Sequence[float]) -> List[Tuple[float, float]]:
+        """Evaluate the CDF at each x in ``xs`` (for plotting on a fixed grid)."""
+        return [(x, self.fraction_at(x)) for x in xs]
+
+
+def binned_cdf(values: Iterable[float], bin_width: float) -> Dict[float, float]:
+    """Return a CDF evaluated on bin edges ``bin_width, 2*bin_width, ...``.
+
+    The paper groups connection durations into 30 s intervals before plotting;
+    this helper reproduces that presentation.  The returned dict maps the upper
+    bin edge to the cumulative fraction of values that fall at or below it.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    data = sorted(float(v) for v in values)
+    if not data:
+        return {}
+    max_value = data[-1]
+    edges: List[float] = []
+    edge = bin_width
+    while edge < max_value + bin_width:
+        edges.append(edge)
+        edge += bin_width
+    cdf = EmpiricalCDF(data)
+    return {round(e, 9): cdf.fraction_at(e) for e in edges}
+
+
+def log_spaced_grid(minimum: float, maximum: float, points_per_decade: int = 10) -> List[float]:
+    """Return a logarithmically spaced grid covering [minimum, maximum].
+
+    Fig. 7 uses a log-scaled x axis from 10^0 to 10^5 seconds; benchmarks use
+    this helper to evaluate CDF series on a comparable grid.
+    """
+    if minimum <= 0 or maximum <= 0:
+        raise ValueError("log grid bounds must be positive")
+    if maximum < minimum:
+        raise ValueError("maximum must be >= minimum")
+    import math
+
+    lo = math.floor(math.log10(minimum))
+    hi = math.ceil(math.log10(maximum))
+    grid: List[float] = []
+    for decade in range(lo, hi + 1):
+        for step in range(points_per_decade):
+            value = 10 ** (decade + step / points_per_decade)
+            if minimum <= value <= maximum:
+                grid.append(value)
+    if not grid or grid[-1] < maximum:
+        grid.append(maximum)
+    return grid

@@ -1,0 +1,79 @@
+"""ASCII charts used by examples and benchmark harnesses.
+
+The reproduction has no plotting dependency; figures are "regenerated" as the
+numeric series the paper plots, optionally rendered as coarse ASCII charts so a
+reader can eyeball the shape (e.g. the connection-trimming sawtooth of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render ``values`` as a unicode sparkline string."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return _BLOCKS[4] * len(values)
+    span = hi - lo
+    chars = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def ascii_bar_chart(
+    data: Mapping[str, float],
+    width: int = 50,
+    sort_desc: bool = True,
+    max_rows: int = 40,
+) -> str:
+    """Render a horizontal bar chart of label → value.
+
+    Used for Fig. 3 (agent occurrences) and Fig. 4 (protocol occurrences).
+    """
+    items: List[Tuple[str, float]] = list(data.items())
+    if sort_desc:
+        items.sort(key=lambda kv: kv[1], reverse=True)
+    items = items[:max_rows]
+    if not items:
+        return "(empty)"
+    label_width = max(len(k) for k, _ in items)
+    peak = max(v for _, v in items) or 1.0
+    lines = []
+    for label, value in items:
+        bar = "#" * max(1, int(round(value / peak * width))) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    samples: int = 60,
+) -> str:
+    """Render one sparkline per named (x, y) series, downsampled to ``samples``."""
+    lines: List[str] = []
+    label_width = max((len(name) for name in series), default=0)
+    for name, points in series.items():
+        ys = [y for _, y in points]
+        if len(ys) > samples:
+            step = len(ys) / samples
+            ys = [ys[int(i * step)] for i in range(samples)]
+        lines.append(f"{name.ljust(label_width)} | {sparkline(ys)}")
+    return "\n".join(lines)
+
+
+def downsample(points: Sequence[Tuple[float, float]], samples: int) -> List[Tuple[float, float]]:
+    """Downsample an (x, y) series to at most ``samples`` points, keeping ends."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if len(points) <= samples:
+        return list(points)
+    step = (len(points) - 1) / (samples - 1)
+    return [points[int(round(i * step))] for i in range(samples)]

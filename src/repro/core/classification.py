@@ -1,0 +1,60 @@
+"""Peer classification by connection behaviour (Table IV).
+
+The paper defines four classes from two observables per PID — the maximum
+connection duration and the number of connections with the measurement node:
+
+* **heavy**:   maximum connection duration > 24 h,
+* **normal**:  maximum connection duration > 2 h (but not heavy),
+* **light**:   short connections (≤ 2 h) but at least 3 of them,
+* **one-time**: short connections (< 2 h) and fewer than 3 of them.
+
+Heavy and normal peers make up the stable "core" of the network; light
+captures recurring/experimental/faulty/malicious peers; one-time peers appear
+briefly and never return.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+HOUR = 3_600.0
+
+
+class PeerClassLabel(enum.Enum):
+    """The four connection-behaviour classes of Table IV."""
+
+    HEAVY = "heavy"
+    NORMAL = "normal"
+    LIGHT = "light"
+    ONE_TIME = "one-time"
+
+
+@dataclass(frozen=True)
+class ClassificationThresholds:
+    """The cut-offs of the classification (defaults: the paper's Table IV)."""
+
+    heavy_duration: float = 24 * HOUR
+    normal_duration: float = 2 * HOUR
+    light_min_connections: int = 3
+
+    def __post_init__(self) -> None:
+        if self.heavy_duration <= self.normal_duration:
+            raise ValueError("heavy threshold must exceed the normal threshold")
+        if self.light_min_connections < 1:
+            raise ValueError("light_min_connections must be at least 1")
+
+
+def classify_peer(
+    max_duration: float,
+    connection_count: int,
+    thresholds: ClassificationThresholds = ClassificationThresholds(),
+) -> PeerClassLabel:
+    """Classify one peer from its maximum connection duration and connection count."""
+    if max_duration > thresholds.heavy_duration:
+        return PeerClassLabel.HEAVY
+    if max_duration > thresholds.normal_duration:
+        return PeerClassLabel.NORMAL
+    if connection_count >= thresholds.light_min_connections:
+        return PeerClassLabel.LIGHT
+    return PeerClassLabel.ONE_TIME

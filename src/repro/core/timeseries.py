@@ -1,0 +1,137 @@
+"""Time-series views of a measurement (Fig. 5 and Fig. 6).
+
+Fig. 5 plots the number of simultaneous peer connections over the first 24 h
+of each period — the sawtooth of the node's own connection trimming in the
+low-watermark periods, the ~15k–16k plateau in P2, and the tiny counts of the
+DHT-Client vantage point in P3.
+
+Fig. 6 plots, over a ~14 day measurement, the total number of PIDs ever seen
+and the number of PIDs that have been disconnected for more than three days
+and never returned — the gap between the two is the paper's argument that PIDs
+overcount peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.records import MeasurementDataset
+
+DAY = 86_400.0
+
+Series = List[Tuple[float, float]]
+
+
+def connections_over_time(
+    dataset: MeasurementDataset,
+    limit: Optional[float] = DAY,
+    relative_time: bool = True,
+) -> Series:
+    """Simultaneous connections per snapshot, optionally limited to the first day.
+
+    Fig. 5 shows "only the connections of the first 24 h" for comparability;
+    pass ``limit=None`` for the full period.
+    """
+    series: Series = []
+    for snapshot in dataset.snapshots:
+        t = snapshot.timestamp - dataset.started_at
+        if limit is not None and t > limit:
+            break
+        x = t if relative_time else snapshot.timestamp
+        series.append((x, float(snapshot.simultaneous_connections)))
+    return series
+
+
+def connected_peers_over_time(
+    dataset: MeasurementDataset,
+    limit: Optional[float] = DAY,
+    relative_time: bool = True,
+) -> Series:
+    """Simultaneously connected PIDs per snapshot (Fig. 5's y axis says "Peers")."""
+    series: Series = []
+    for snapshot in dataset.snapshots:
+        t = snapshot.timestamp - dataset.started_at
+        if limit is not None and t > limit:
+            break
+        x = t if relative_time else snapshot.timestamp
+        series.append((x, float(snapshot.connected_pids)))
+    return series
+
+
+def pids_over_time(dataset: MeasurementDataset, step: float = 3_600.0) -> Series:
+    """Cumulative number of distinct PIDs seen up to each time step (Fig. 6 'all')."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    first_seen = sorted(record.first_seen for record in dataset.peers.values())
+    series: Series = []
+    t = dataset.started_at
+    idx = 0
+    while t <= dataset.ended_at + 1e-9:
+        while idx < len(first_seen) and first_seen[idx] <= t:
+            idx += 1
+        series.append((t - dataset.started_at, float(idx)))
+        t += step
+    return series
+
+
+def gone_pids_over_time(
+    dataset: MeasurementDataset,
+    gone_threshold: float = 3 * DAY,
+    step: float = 3_600.0,
+) -> Series:
+    """PIDs disconnected for more than ``gone_threshold`` and never seen again.
+
+    This is the second series of Fig. 6: for each point in time ``t``, the
+    number of PIDs whose *final* disappearance happened more than three days
+    before ``t``.
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    last_seen = sorted(record.last_seen for record in dataset.peers.values())
+    series: Series = []
+    t = dataset.started_at
+    idx = 0
+    while t <= dataset.ended_at + 1e-9:
+        cutoff = t - gone_threshold
+        while idx < len(last_seen) and last_seen[idx] <= cutoff:
+            idx += 1
+        series.append((t - dataset.started_at, float(idx)))
+        t += step
+    return series
+
+
+@dataclass(frozen=True)
+class TimeSeriesSummary:
+    """Headline numbers of the Fig. 5 / Fig. 6 views for one dataset."""
+
+    label: str
+    peak_simultaneous_connections: int
+    final_simultaneous_connections: int
+    total_pids: int
+    gone_pids: int
+    plateau_connected_pids: int
+
+    @property
+    def pids_per_simultaneous_connection(self) -> float:
+        """The paper's "every peer has around two PIDs" indicator."""
+        if self.peak_simultaneous_connections == 0:
+            return 0.0
+        return self.total_pids / self.peak_simultaneous_connections
+
+
+def summarize_timeseries(
+    dataset: MeasurementDataset, gone_threshold: float = 3 * DAY
+) -> TimeSeriesSummary:
+    """Compute the summary indicators used by the Fig. 5 / Fig. 6 benchmarks."""
+    connections = [s.simultaneous_connections for s in dataset.snapshots]
+    connected = [s.connected_pids for s in dataset.snapshots]
+    gone = gone_pids_over_time(dataset, gone_threshold=gone_threshold, step=max(3600.0, dataset.duration / 50 or 3600.0))
+    return TimeSeriesSummary(
+        label=dataset.label,
+        peak_simultaneous_connections=max(connections) if connections else 0,
+        final_simultaneous_connections=connections[-1] if connections else 0,
+        total_pids=dataset.pid_count(),
+        gone_pids=int(gone[-1][1]) if gone else 0,
+        plateau_connected_pids=int(sorted(connected)[len(connected) // 2]) if connected else 0,
+    )

@@ -1,0 +1,22 @@
+"""Experiment definitions: the paper's measurement periods and reference values.
+
+``periods`` maps the paper's Table I onto runnable scenario configurations
+(with population-scaled connection-manager watermarks), ``paper_values`` holds
+every number the paper reports that the benchmarks compare against, and
+``runner`` executes periods with in-session caching so multiple benchmarks can
+share one simulation run.
+"""
+
+from repro.experiments.paper_values import PAPER, PaperReference
+from repro.experiments.periods import PERIODS, PeriodSpec, period
+from repro.experiments.runner import run_period, run_period_cached
+
+__all__ = [
+    "PAPER",
+    "PaperReference",
+    "PERIODS",
+    "PeriodSpec",
+    "period",
+    "run_period",
+    "run_period_cached",
+]

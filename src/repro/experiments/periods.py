@@ -1,0 +1,212 @@
+"""The paper's measurement periods (Table I) as runnable scenario configs.
+
+Table I of the paper:
+
+======  =======================  ========  =====  =====  =======  =====
+Period  Dates                    Duration  Low    High   go-ipfs  Hydra
+======  =======================  ========  =====  =====  =======  =====
+P0      2021-12-03 – 2021-12-06  ~3 d      600    900    Server   3*
+P1      2021-12-09 – 2021-12-10  ~1 d      2k     4k     Server   2
+P2      2021-12-13 – 2021-12-14  ~1 d      18k    20k    Server   2
+P3      2022-02-16 – 2022-02-17  ~1 d      18k    20k    Client   –
+P4      2021-12-10 – 2021-12-13  ~3 d      18k    20k    Server   –
+P14     2022-03-29 – 2022-04-12  ~14 d     18k    20k    Server   –
+======  =======================  ========  =====  =====  =======  =====
+
+(*) The paper lists P0 as two deployments (P01: go-ipfs with defaults 600/900,
+P02: a hydra with 3 heads and 1.2k/1.8k); we model them as one scenario with
+both vantage points.  "P14" is the additional ~14 day measurement behind Fig. 6.
+
+Because the simulated population is much smaller than the live network, the
+connection-manager watermarks are scaled by ``n_peers / 62'204`` (the paper's
+connected-PID count) so the *mechanism* — does the vantage point trim its own
+connections, and how aggressively — is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.ipfs.config import IpfsConfig
+from repro.kademlia.dht import DHTMode
+from repro.simulation.churn_models import DAY
+from repro.simulation.population import PopulationConfig
+from repro.simulation.scenario import ScenarioConfig
+
+#: the paper's connected-PID count used as the watermark scaling denominator
+PAPER_SCALE_PIDS = 62_204
+
+#: Compensation factor applied on top of the population ratio when scaling the
+#: connection-manager watermarks.  The compressed simulated population contacts
+#: the vantage point at a higher per-peer rate than the live network (shorter
+#: periods, faster reconnects), so a purely proportional LowWater would be
+#: smaller than the arrivals within one grace period and the trim loop would
+#: churn even its best-scored connections — a regime the live network never
+#: enters.  The headroom keeps the ratio of LowWater to arrivals-per-trim-cycle
+#: in the same regime as the paper's deployment while preserving the ordering
+#: of the per-period configurations.
+WATERMARK_HEADROOM = 4.0
+#: lower bound for any scaled LowWater (keeps tiny test populations sane)
+MIN_SCALED_LOW_WATER = 20
+
+
+@dataclass(frozen=True)
+class PeriodSpec:
+    """One measurement period of Table I (plus the 14 d run of Fig. 6)."""
+
+    period_id: str
+    start_date: str
+    end_date: str
+    duration_days: float
+    low_water: int
+    high_water: int
+    go_ipfs_mode: Optional[DHTMode]      # None: no go-ipfs vantage point
+    hydra_heads: int
+    hydra_low_water: Optional[int] = None
+    hydra_high_water: Optional[int] = None
+    run_crawler: bool = True
+    #: compressed duration used by the benchmark harness (simulated days);
+    #: ``None`` means "use the paper's duration"
+    bench_duration_days: Optional[float] = None
+    #: default population size used by the benchmark harness
+    bench_peers: int = 1500
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_days * DAY
+
+    def scaled_watermarks(self, n_peers: int) -> Tuple[int, int]:
+        """Scale the Table I watermarks to the simulated population size."""
+        scale = n_peers / PAPER_SCALE_PIDS * WATERMARK_HEADROOM
+        low = max(MIN_SCALED_LOW_WATER, int(round(self.low_water * scale)))
+        high = max(low + 2, int(round(self.high_water * scale)))
+        return low, high
+
+    def scaled_hydra_watermarks(self, n_peers: int) -> Tuple[int, int]:
+        scale = n_peers / PAPER_SCALE_PIDS * WATERMARK_HEADROOM
+        low = self.hydra_low_water if self.hydra_low_water is not None else 15_000
+        high = self.hydra_high_water if self.hydra_high_water is not None else 20_000
+        scaled_low = max(MIN_SCALED_LOW_WATER, int(round(low * scale)))
+        scaled_high = max(scaled_low + 2, int(round(high * scale)))
+        return scaled_low, scaled_high
+
+    def scenario_config(
+        self,
+        n_peers: Optional[int] = None,
+        seed: int = 7,
+        duration_days: Optional[float] = None,
+        run_crawler: Optional[bool] = None,
+    ) -> ScenarioConfig:
+        """Build a :class:`ScenarioConfig` for this period.
+
+        ``duration_days`` overrides the period duration (benchmarks compress the
+        multi-day periods; tests shrink them much further).
+        """
+        peers = n_peers if n_peers is not None else self.bench_peers
+        days = duration_days
+        if days is None:
+            days = self.bench_duration_days if self.bench_duration_days is not None else self.duration_days
+        low, high = self.scaled_watermarks(peers)
+        go_ipfs_config: Optional[IpfsConfig] = None
+        if self.go_ipfs_mode is not None:
+            go_ipfs_config = IpfsConfig(
+                low_water=low,
+                high_water=high,
+                dht_mode=self.go_ipfs_mode,
+            )
+        hydra_low, hydra_high = self.scaled_hydra_watermarks(peers)
+        return ScenarioConfig(
+            duration=days * DAY,
+            population=PopulationConfig.scaled_to_paper(peers, seed=seed),
+            go_ipfs=go_ipfs_config,
+            hydra_heads=self.hydra_heads,
+            hydra_low_water=hydra_low if self.hydra_heads else None,
+            hydra_high_water=hydra_high if self.hydra_heads else None,
+            run_crawler=self.run_crawler if run_crawler is None else run_crawler,
+            seed=seed,
+        )
+
+
+PERIODS: Dict[str, PeriodSpec] = {
+    "P0": PeriodSpec(
+        period_id="P0",
+        start_date="2021-12-03",
+        end_date="2021-12-06",
+        duration_days=3.0,
+        low_water=600,
+        high_water=900,
+        go_ipfs_mode=DHTMode.SERVER,
+        hydra_heads=3,
+        hydra_low_water=1_200,
+        hydra_high_water=1_800,
+        bench_duration_days=1.5,
+        bench_peers=1200,
+    ),
+    "P1": PeriodSpec(
+        period_id="P1",
+        start_date="2021-12-09",
+        end_date="2021-12-10",
+        duration_days=1.0,
+        low_water=2_000,
+        high_water=4_000,
+        go_ipfs_mode=DHTMode.SERVER,
+        hydra_heads=2,
+        bench_peers=1500,
+    ),
+    "P2": PeriodSpec(
+        period_id="P2",
+        start_date="2021-12-13",
+        end_date="2021-12-14",
+        duration_days=1.0,
+        low_water=18_000,
+        high_water=20_000,
+        go_ipfs_mode=DHTMode.SERVER,
+        hydra_heads=2,
+        bench_peers=1500,
+    ),
+    "P3": PeriodSpec(
+        period_id="P3",
+        start_date="2022-02-16",
+        end_date="2022-02-17",
+        duration_days=1.0,
+        low_water=18_000,
+        high_water=20_000,
+        go_ipfs_mode=DHTMode.CLIENT,
+        hydra_heads=0,
+        bench_peers=1500,
+    ),
+    "P4": PeriodSpec(
+        period_id="P4",
+        start_date="2021-12-10",
+        end_date="2021-12-13",
+        duration_days=3.0,
+        low_water=18_000,
+        high_water=20_000,
+        go_ipfs_mode=DHTMode.SERVER,
+        hydra_heads=0,
+        bench_duration_days=2.0,
+        bench_peers=1800,
+    ),
+    "P14": PeriodSpec(
+        period_id="P14",
+        start_date="2022-03-29",
+        end_date="2022-04-12",
+        duration_days=14.0,
+        low_water=18_000,
+        high_water=20_000,
+        go_ipfs_mode=DHTMode.SERVER,
+        hydra_heads=0,
+        run_crawler=False,
+        bench_duration_days=7.0,
+        bench_peers=800,
+    ),
+}
+
+
+def period(period_id: str) -> PeriodSpec:
+    """Look up a period spec by its paper name (``"P0"`` ... ``"P4"``, ``"P14"``)."""
+    try:
+        return PERIODS[period_id]
+    except KeyError:
+        raise KeyError(f"unknown measurement period: {period_id!r}") from None

@@ -1,0 +1,60 @@
+"""Running measurement periods, with in-session caching.
+
+Several benchmarks analyse the same period (P4 feeds Fig. 3, Fig. 4, Fig. 7,
+Table III, Table IV, and both Section V estimators), so the runner memoises
+scenario results by their exact parameters.  A simulation run is deterministic
+for a given (period, n_peers, duration, seed), so caching does not change any
+result — it only avoids re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.periods import PeriodSpec, period
+from repro.simulation.scenario import Scenario, ScenarioResult
+
+_CacheKey = Tuple[str, int, float, int, bool]
+_CACHE: Dict[_CacheKey, ScenarioResult] = {}
+
+
+def run_period(
+    period_id: str,
+    n_peers: Optional[int] = None,
+    duration_days: Optional[float] = None,
+    seed: int = 7,
+    run_crawler: Optional[bool] = None,
+) -> ScenarioResult:
+    """Run one measurement period without caching."""
+    spec = period(period_id)
+    config = spec.scenario_config(
+        n_peers=n_peers, seed=seed, duration_days=duration_days, run_crawler=run_crawler
+    )
+    return Scenario(config).run()
+
+
+def run_period_cached(
+    period_id: str,
+    n_peers: Optional[int] = None,
+    duration_days: Optional[float] = None,
+    seed: int = 7,
+    run_crawler: Optional[bool] = None,
+) -> ScenarioResult:
+    """Run one measurement period, memoising the result for this process."""
+    spec = period(period_id)
+    peers = n_peers if n_peers is not None else spec.bench_peers
+    days = duration_days
+    if days is None:
+        days = spec.bench_duration_days if spec.bench_duration_days is not None else spec.duration_days
+    crawler = spec.run_crawler if run_crawler is None else run_crawler
+    key: _CacheKey = (period_id, peers, days, seed, crawler)
+    if key not in _CACHE:
+        _CACHE[key] = run_period(
+            period_id, n_peers=peers, duration_days=days, seed=seed, run_crawler=crawler
+        )
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop every cached scenario result (used by tests)."""
+    _CACHE.clear()

@@ -1,0 +1,102 @@
+"""A single hydra head.
+
+A head provides "basic networking functionality and DHT management": it is a
+DHT-Server with its own PeerId, swarm, peerstore, and connection manager, but
+no Bitswap (hydras never exchange content).  Heads are deliberately spread over
+the keyspace so the hydra as a whole covers more of the DHT.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.ipfs.peerstore import Peerstore
+from repro.ipfs.swarm import Swarm
+from repro.kademlia.dht import DHTMode, KademliaNode
+from repro.libp2p.connection import CloseReason, Connection, Direction
+from repro.libp2p.connmgr import ConnManagerConfig
+from repro.libp2p.crypto import generate_keypair
+from repro.libp2p.identify import IdentifyRecord
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.peer_id import PeerId
+from repro.libp2p.protocols import KAD_DHT, hydra_protocols
+
+HYDRA_AGENT_VERSION = "hydra-booster/0.7.4"
+
+#: hydra-booster does not apply go-ipfs's tight defaults; heads keep many more
+#: connections before trimming (modelled after its much higher limits).
+HYDRA_LOW_WATER = 15_000
+HYDRA_HIGH_WATER = 20_000
+
+
+class HydraHead:
+    """One head: an independent DHT-Server identity of the hydra."""
+
+    def __init__(
+        self,
+        head_index: int,
+        rng: Optional[random.Random] = None,
+        low_water: int = HYDRA_LOW_WATER,
+        high_water: int = HYDRA_HIGH_WATER,
+        port: int = 3001,
+    ) -> None:
+        self.head_index = head_index
+        self.rng = rng or random.Random()
+        self.keypair = generate_keypair(self.rng)
+        self.peer_id = PeerId.from_keypair(self.keypair)
+        self.port = port + head_index
+        self.peerstore = Peerstore()
+        self.swarm = Swarm(
+            self.peer_id,
+            ConnManagerConfig(low_water=low_water, high_water=high_water),
+        )
+        self.dht = KademliaNode(self.peer_id, mode=DHTMode.SERVER, rng=self.rng)
+
+    def own_identify_record(self) -> IdentifyRecord:
+        return IdentifyRecord.make(
+            agent_version=HYDRA_AGENT_VERSION,
+            protocols=hydra_protocols(),
+        )
+
+    # -- connection handling (mirrors IpfsNode's surface) ---------------------------
+
+    def handle_inbound_connection(
+        self, remote_peer: PeerId, remote_addr: Multiaddr, now: float
+    ) -> Connection:
+        conn = self.swarm.open_connection(remote_peer, remote_addr, Direction.INBOUND, now)
+        self.peerstore.set_connected(remote_peer, True, now, observed_addr=remote_addr)
+        return conn
+
+    def dial(self, remote_peer: PeerId, remote_addr: Multiaddr, now: float) -> Connection:
+        conn = self.swarm.open_connection(remote_peer, remote_addr, Direction.OUTBOUND, now)
+        self.peerstore.set_connected(remote_peer, True, now, observed_addr=remote_addr)
+        return conn
+
+    def close_connection(self, conn: Connection, reason: CloseReason, now: float) -> None:
+        self.swarm.close_connection(conn, reason, now)
+        if not self.swarm.is_connected(conn.remote_peer):
+            self.peerstore.set_connected(conn.remote_peer, False, now)
+
+    def receive_identify(self, remote_peer: PeerId, record: IdentifyRecord, now: float) -> None:
+        self.peerstore.record_identify(remote_peer, record, now)
+        if KAD_DHT in record.protocols:
+            self.dht.observe_peer(remote_peer, is_server=True)
+            self.swarm.tag_peer(remote_peer, "kad", 5)
+        else:
+            self.dht.observe_peer(remote_peer, is_server=False)
+
+    def tick(self, now: float) -> List[Connection]:
+        return self.swarm.trim(now)
+
+    def shutdown(self, now: float) -> List[Connection]:
+        closed = self.swarm.close_all(CloseReason.LOCAL_SHUTDOWN, now)
+        for conn in closed:
+            self.peerstore.set_connected(conn.remote_peer, False, now)
+        return closed
+
+    def connection_count(self) -> int:
+        return self.swarm.connection_count()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"HydraHead(#{self.head_index}, {self.peer_id.short()})"

@@ -1,0 +1,108 @@
+"""The hydra-booster node: many heads, one belly.
+
+The belly is a shared datastore for provider/IPNS records.  For the
+measurement it only matters that all heads are one operational node on one
+machine — the paper notes that grouping by IP collapses ~1'026 hydra heads into
+a handful of "peers", one of the weaknesses of the multiaddress-based
+network-size estimate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.hydra.head import HydraHead
+from repro.libp2p.peer_id import PeerId
+
+
+@dataclass
+class Belly:
+    """Shared record store of all heads (provider and IPNS records)."""
+
+    provider_records: Dict[str, Set[PeerId]] = field(default_factory=dict)
+    ipns_records: Dict[str, bytes] = field(default_factory=dict)
+
+    def add_provider(self, key: str, provider: PeerId) -> None:
+        self.provider_records.setdefault(key, set()).add(provider)
+
+    def providers_for(self, key: str) -> Set[PeerId]:
+        return set(self.provider_records.get(key, set()))
+
+    def put_ipns(self, name: str, record: bytes) -> None:
+        self.ipns_records[name] = record
+
+    def get_ipns(self, name: str) -> Optional[bytes]:
+        return self.ipns_records.get(name)
+
+    def record_count(self) -> int:
+        return len(self.provider_records) + len(self.ipns_records)
+
+
+class HydraNode:
+    """A hydra-booster with ``n_heads`` heads sharing one belly."""
+
+    def __init__(
+        self,
+        n_heads: int,
+        rng: Optional[random.Random] = None,
+        port: int = 3001,
+        low_water: Optional[int] = None,
+        high_water: Optional[int] = None,
+    ) -> None:
+        if n_heads <= 0:
+            raise ValueError("a hydra needs at least one head")
+        self.rng = rng or random.Random()
+        self.belly = Belly()
+        head_kwargs = {}
+        if low_water is not None:
+            head_kwargs["low_water"] = low_water
+        if high_water is not None:
+            head_kwargs["high_water"] = high_water
+        self.heads: List[HydraHead] = [
+            HydraHead(head_index=i, rng=self.rng, port=port, **head_kwargs)
+            for i in range(n_heads)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.heads)
+
+    def head(self, index: int) -> HydraHead:
+        return self.heads[index]
+
+    def peer_ids(self) -> List[PeerId]:
+        return [head.peer_id for head in self.heads]
+
+    # -- aggregate views over all heads (what the paper reports as "the Hydra") -----
+
+    def union_known_peers(self) -> Set[PeerId]:
+        """The union of all heads' peerstores — Fig. 2 reports exactly this."""
+        union: Set[PeerId] = set()
+        for head in self.heads:
+            union.update(head.peerstore.peers())
+        return union
+
+    def union_dht_servers(self) -> Set[PeerId]:
+        union: Set[PeerId] = set()
+        for head in self.heads:
+            union.update(head.peerstore.dht_servers())
+        return union
+
+    def total_connections(self) -> int:
+        return sum(head.connection_count() for head in self.heads)
+
+    def tick(self, now: float) -> int:
+        """Run every head's trim cycle; returns the number of trimmed connections."""
+        trimmed = 0
+        for head in self.heads:
+            trimmed += len(head.tick(now))
+        return trimmed
+
+    def shutdown(self, now: float) -> None:
+        for head in self.heads:
+            head.shutdown(now)
+
+    def store_provider_record(self, key: str, provider: PeerId) -> None:
+        """Any head receiving a provider record stores it in the shared belly."""
+        self.belly.add_provider(key, provider)

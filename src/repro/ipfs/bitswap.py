@@ -1,0 +1,91 @@
+"""A minimal Bitswap engine.
+
+The measurement nodes in the paper never request or serve content, so Bitswap
+only matters in two places: the protocol announcement (go-ipfs peers that do
+*not* announce Bitswap are one of the paper's anomalies) and the fact that
+Bitswap broadcasts can cause remote peers to open connections to us.  The
+engine below implements a wantlist/ledger just far enough to support the
+examples and to keep the node composition faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.libp2p.peer_id import PeerId
+
+
+@dataclass
+class Ledger:
+    """Per-peer exchange accounting, as real Bitswap keeps."""
+
+    peer: PeerId
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    blocks_sent: int = 0
+    blocks_received: int = 0
+
+    @property
+    def debt_ratio(self) -> float:
+        return self.bytes_sent / (self.bytes_received + 1.0)
+
+
+class BitswapEngine:
+    """Want-list handling and per-peer ledgers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._wantlist: Set[str] = set()
+        self._blockstore: Dict[str, bytes] = {}
+        self._ledgers: Dict[PeerId, Ledger] = {}
+
+    # -- local content ------------------------------------------------------------
+
+    def add_block(self, cid: str, data: bytes) -> None:
+        self._blockstore[cid] = data
+        self._wantlist.discard(cid)
+
+    def has_block(self, cid: str) -> bool:
+        return cid in self._blockstore
+
+    def want(self, cid: str) -> None:
+        if not self.has_block(cid):
+            self._wantlist.add(cid)
+
+    def wantlist(self) -> List[str]:
+        return sorted(self._wantlist)
+
+    # -- message handling ----------------------------------------------------------
+
+    def ledger_for(self, peer: PeerId) -> Ledger:
+        ledger = self._ledgers.get(peer)
+        if ledger is None:
+            ledger = Ledger(peer=peer)
+            self._ledgers[peer] = ledger
+        return ledger
+
+    def handle_want(self, peer: PeerId, cid: str) -> Optional[bytes]:
+        """A remote peer asks for ``cid``; serve it if we have it."""
+        if not self.enabled:
+            return None
+        block = self._blockstore.get(cid)
+        if block is not None:
+            ledger = self.ledger_for(peer)
+            ledger.blocks_sent += 1
+            ledger.bytes_sent += len(block)
+        return block
+
+    def handle_block(self, peer: PeerId, cid: str, data: bytes) -> bool:
+        """A remote peer sent us a block; returns True if it was wanted."""
+        if not self.enabled:
+            return False
+        ledger = self.ledger_for(peer)
+        ledger.blocks_received += 1
+        ledger.bytes_received += len(data)
+        wanted = cid in self._wantlist
+        self.add_block(cid, data)
+        return wanted
+
+    def known_peers(self) -> List[PeerId]:
+        return list(self._ledgers.keys())

@@ -1,0 +1,151 @@
+"""The go-ipfs node composition.
+
+An :class:`IpfsNode` bundles identity, peerstore, swarm (with connection
+manager), Kademlia DHT state, and a Bitswap engine into the object the
+simulation deploys — both as the passive measurement node and, in scaled-down
+form, inside tests and examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.ipfs.bitswap import BitswapEngine
+from repro.ipfs.config import IpfsConfig
+from repro.ipfs.peerstore import Peerstore
+from repro.ipfs.swarm import Swarm
+from repro.kademlia.dht import DHTMode, KademliaNode, QueryFn
+from repro.libp2p.connection import CloseReason, Connection, Direction
+from repro.libp2p.crypto import KeyPair, generate_keypair
+from repro.libp2p.identify import IdentifyRecord
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.peer_id import PeerId
+from repro.libp2p.protocols import KAD_DHT, goipfs_protocols
+
+#: connection-manager tag used for peers in our DHT routing table
+_KAD_TAG = "kad"
+_KAD_TAG_VALUE = 5
+_BOOTSTRAP_TAG = "bootstrap"
+
+
+class IpfsNode:
+    """A behavioural stand-in for the go-ipfs reference client."""
+
+    def __init__(
+        self,
+        config: Optional[IpfsConfig] = None,
+        keypair: Optional[KeyPair] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.config = config or IpfsConfig.defaults()
+        self.rng = rng or random.Random()
+        self.keypair = keypair or generate_keypair(self.rng)
+        self.peer_id = PeerId.from_keypair(self.keypair)
+        self.peerstore = Peerstore()
+        self.swarm = Swarm(self.peer_id, self.config.connmgr_config())
+        self.dht = KademliaNode(self.peer_id, mode=self.config.dht_mode, rng=self.rng)
+        self.bitswap = BitswapEngine(enabled=self.config.enable_bitswap)
+
+    # -- identity / identify ----------------------------------------------------------
+
+    @property
+    def is_dht_server(self) -> bool:
+        return self.dht.is_server
+
+    def set_dht_mode(self, mode: DHTMode) -> None:
+        self.dht.set_mode(mode)
+
+    def own_identify_record(self, listen_addrs: Iterable[Multiaddr] = ()) -> IdentifyRecord:
+        """The identify record this node announces to remote peers."""
+        protocols = goipfs_protocols(
+            dht_server=self.is_dht_server,
+            bitswap=self.config.enable_bitswap,
+        )
+        return IdentifyRecord.make(
+            agent_version=self.config.agent_version,
+            protocols=protocols,
+            listen_addrs=listen_addrs,
+        )
+
+    # -- connection handling ------------------------------------------------------------
+
+    def handle_inbound_connection(
+        self, remote_peer: PeerId, remote_addr: Multiaddr, now: float
+    ) -> Connection:
+        """A remote peer dialled us; go-ipfs always accepts and trims later."""
+        conn = self.swarm.open_connection(remote_peer, remote_addr, Direction.INBOUND, now)
+        self.peerstore.set_connected(remote_peer, True, now, observed_addr=remote_addr)
+        return conn
+
+    def dial(self, remote_peer: PeerId, remote_addr: Multiaddr, now: float) -> Connection:
+        """Open an outbound connection to a remote peer."""
+        conn = self.swarm.open_connection(remote_peer, remote_addr, Direction.OUTBOUND, now)
+        self.peerstore.set_connected(remote_peer, True, now, observed_addr=remote_addr)
+        return conn
+
+    def close_connection(self, conn: Connection, reason: CloseReason, now: float) -> None:
+        self.swarm.close_connection(conn, reason, now)
+        if not self.swarm.is_connected(conn.remote_peer):
+            self.peerstore.set_connected(conn.remote_peer, False, now)
+
+    def shutdown(self, now: float) -> List[Connection]:
+        """Close every connection (end of a measurement period)."""
+        closed = self.swarm.close_all(CloseReason.LOCAL_SHUTDOWN, now)
+        for conn in closed:
+            self.peerstore.set_connected(conn.remote_peer, False, now)
+        return closed
+
+    # -- identify / peerstore -------------------------------------------------------------
+
+    def receive_identify(self, remote_peer: PeerId, record: IdentifyRecord, now: float) -> None:
+        """Process the identify (or identify-push) message of a remote peer.
+
+        Besides updating the peerstore, the DHT learns about the peer's role:
+        peers announcing ``/ipfs/kad/1.0.0`` enter the routing table and get a
+        connection-manager tag (go-libp2p tags routing-table peers, which is
+        what protects them from trimming); peers that stop announcing it are
+        dropped again — this is the mechanism behind the paper's observed
+        DHT-Server↔Client role flips.
+        """
+        self.peerstore.record_identify(remote_peer, record, now)
+        if KAD_DHT in record.protocols:
+            self.dht.observe_peer(remote_peer, is_server=True)
+            self.swarm.tag_peer(remote_peer, _KAD_TAG, _KAD_TAG_VALUE)
+        else:
+            self.dht.observe_peer(remote_peer, is_server=False)
+            self.swarm.connmgr.untag_peer(remote_peer, _KAD_TAG)
+
+    # -- DHT ---------------------------------------------------------------------------------
+
+    def bootstrap(self, bootstrap_peers: Iterable[PeerId], query: QueryFn) -> None:
+        """Join the DHT via the given bootstrap peers (go-ipfs protects them)."""
+        peers = list(bootstrap_peers)
+        for peer in peers:
+            self.swarm.protect_peer(peer, _BOOTSTRAP_TAG)
+        self.dht.bootstrap(peers, query)
+
+    def handle_find_node(self, target: int, count: int = 20) -> Optional[List[PeerId]]:
+        """Answer a DHT query if we are a server."""
+        return self.dht.handle_find_node(target, count)
+
+    # -- periodic work --------------------------------------------------------------------------
+
+    def tick(self, now: float) -> List[Connection]:
+        """Periodic maintenance: run the connection manager's trim cycle."""
+        return self.swarm.trim(now)
+
+    # -- introspection ----------------------------------------------------------------------------
+
+    def connection_count(self) -> int:
+        return self.swarm.connection_count()
+
+    def known_peer_count(self) -> int:
+        return len(self.peerstore)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        mode = "server" if self.is_dht_server else "client"
+        return (
+            f"IpfsNode({self.peer_id.short()}, {mode}, "
+            f"conns={self.connection_count()}, known={self.known_peer_count()})"
+        )

@@ -1,0 +1,127 @@
+"""The swarm: the set of live connections of a node.
+
+The swarm owns connection lifecycle (open, close, trim) and notifies listeners
+about every change — the passive measurement recorder is exactly such a
+listener.  Trimming is delegated to the libp2p connection manager; the swarm
+is the component that actually closes the victims and reports why.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from repro.libp2p.connection import CloseReason, Connection, Direction
+from repro.libp2p.connmgr import ConnManagerConfig, ConnectionManager
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.peer_id import PeerId
+
+
+class SwarmListener(Protocol):
+    """Receives connection lifecycle notifications (go-libp2p's ``Notifiee``)."""
+
+    def on_connected(self, conn: Connection, now: float) -> None:  # pragma: no cover
+        ...
+
+    def on_disconnected(self, conn: Connection, now: float) -> None:  # pragma: no cover
+        ...
+
+
+class Swarm:
+    """Connection container with connection-manager based trimming."""
+
+    def __init__(self, local_peer: PeerId, connmgr_config: Optional[ConnManagerConfig] = None) -> None:
+        self.local_peer = local_peer
+        self.connmgr = ConnectionManager(connmgr_config)
+        self._listeners: List[SwarmListener] = []
+        self._open_by_id: Dict[int, Connection] = {}
+        self.total_opened = 0
+        self.total_closed = 0
+
+    # -- listeners ----------------------------------------------------------------
+
+    def add_listener(self, listener: SwarmListener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: SwarmListener) -> None:
+        self._listeners.remove(listener)
+
+    # -- queries ------------------------------------------------------------------
+
+    def connection_count(self) -> int:
+        return len(self._open_by_id)
+
+    def connections(self) -> List[Connection]:
+        return list(self._open_by_id.values())
+
+    def connections_to(self, peer: PeerId) -> List[Connection]:
+        return [c for c in self._open_by_id.values() if c.remote_peer == peer]
+
+    def is_connected(self, peer: PeerId) -> bool:
+        return any(c.remote_peer == peer for c in self._open_by_id.values())
+
+    def connected_peers(self) -> List[PeerId]:
+        return self.connmgr.connected_peers()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def open_connection(
+        self,
+        remote_peer: PeerId,
+        remote_addr: Multiaddr,
+        direction: Direction,
+        now: float,
+    ) -> Connection:
+        """Open (register) a new connection and notify listeners."""
+        conn = Connection(
+            remote_peer=remote_peer,
+            direction=direction,
+            remote_addr=remote_addr,
+            opened_at=now,
+        )
+        self._open_by_id[conn.connection_id] = conn
+        self.connmgr.add_connection(conn, now)
+        self.total_opened += 1
+        for listener in self._listeners:
+            listener.on_connected(conn, now)
+        return conn
+
+    def close_connection(self, conn: Connection, reason: CloseReason, now: float) -> None:
+        """Close one connection; safe to call only for open connections."""
+        if conn.connection_id not in self._open_by_id:
+            raise KeyError(f"connection {conn.connection_id} is not open in this swarm")
+        conn.close(now, reason)
+        del self._open_by_id[conn.connection_id]
+        self.connmgr.remove_connection(conn)
+        self.total_closed += 1
+        for listener in self._listeners:
+            listener.on_disconnected(conn, now)
+
+    def close_all(self, reason: CloseReason, now: float) -> List[Connection]:
+        """Close every open connection (measurement shutdown)."""
+        closed = []
+        for conn in list(self._open_by_id.values()):
+            self.close_connection(conn, reason, now)
+            closed.append(conn)
+        return closed
+
+    def trim(self, now: float, force: bool = False) -> List[Connection]:
+        """Run the connection manager and close its victims."""
+        victims = self.connmgr.trim(now, force=force)
+        for conn in victims:
+            # The connmgr already dropped its own bookkeeping for the victims;
+            # the swarm still owns the close (and the notification).
+            if conn.connection_id in self._open_by_id:
+                conn.close(now, CloseReason.LOCAL_TRIM)
+                del self._open_by_id[conn.connection_id]
+                self.total_closed += 1
+                for listener in self._listeners:
+                    listener.on_disconnected(conn, now)
+        return victims
+
+    # -- tagging passthrough ---------------------------------------------------------
+
+    def tag_peer(self, peer: PeerId, tag: str, value: int) -> None:
+        self.connmgr.tag_peer(peer, tag, value)
+
+    def protect_peer(self, peer: PeerId, tag: str) -> None:
+        self.connmgr.protect_peer(peer, tag)

@@ -1,0 +1,42 @@
+"""A Kademlia DHT model (the routing substrate of IPFS).
+
+IPFS peers participate in a Kademlia-based DHT (``/ipfs/kad/1.0.0``).  Two
+properties matter for the paper:
+
+* **DHT-Server vs DHT-Client.**  Only servers announce the kad protocol and are
+  entered into other peers' routing tables; crawlers can therefore only ever
+  see servers, while a passive node also observes clients (Fig. 1, Fig. 2).
+* **Routing-table maintenance drives inbound connections.**  Servers actively
+  look up and connect to peers close to themselves in XOR space, which is why a
+  freshly bootstrapped measurement node quickly accumulates thousands of
+  inbound connections.
+
+The implementation provides the XOR metric, k-bucket routing tables, and
+iterative lookups over an abstract query transport so the same code serves the
+simulated nodes, the hydra heads, and the active crawler baseline.
+"""
+
+from repro.kademlia.keys import (
+    KEY_BITS,
+    bucket_index,
+    common_prefix_length,
+    key_for_peer,
+    random_key_in_bucket,
+    xor_distance,
+)
+from repro.kademlia.routing_table import KBucket, RoutingTable
+from repro.kademlia.dht import DHTMode, KademliaNode, LookupResult
+
+__all__ = [
+    "KEY_BITS",
+    "xor_distance",
+    "common_prefix_length",
+    "bucket_index",
+    "key_for_peer",
+    "random_key_in_bucket",
+    "KBucket",
+    "RoutingTable",
+    "DHTMode",
+    "KademliaNode",
+    "LookupResult",
+]

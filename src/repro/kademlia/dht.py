@@ -1,0 +1,193 @@
+"""Kademlia node logic: server/client modes and iterative lookups.
+
+The transport is abstracted as a *query function*: ``query(remote, target,
+count)`` asks ``remote`` for its ``count`` closest known peers to ``target``
+and returns ``None`` when the remote is unreachable (offline, NATed, or not a
+DHT-Server).  The simulation network, the hydra heads, and the crawler all
+provide such a function, so the same lookup code is reused everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.kademlia.keys import key_for_peer, random_key, xor_distance
+from repro.kademlia.routing_table import DEFAULT_BUCKET_SIZE, RoutingTable
+from repro.libp2p.peer_id import PeerId
+
+#: go-libp2p-kad-dht concurrency parameter (alpha).
+DEFAULT_ALPHA = 3
+#: Number of closest peers a FIND_NODE reply carries.
+DEFAULT_CLOSER_PEERS = 20
+
+
+class DHTMode(enum.Enum):
+    """Participation mode in the DHT.
+
+    Servers answer routing queries and appear in other peers' routing tables;
+    clients only issue queries.  go-ipfs auto-detects the mode from NAT status,
+    and the paper observes peers flapping between the two (Section IV.B).
+    """
+
+    SERVER = "server"
+    CLIENT = "client"
+
+
+QueryFn = Callable[[PeerId, int, int], Optional[List[PeerId]]]
+
+
+@dataclass
+class LookupResult:
+    """Outcome of an iterative lookup."""
+
+    target: int
+    closest: List[PeerId]
+    queried: Set[PeerId] = field(default_factory=set)
+    discovered: Set[PeerId] = field(default_factory=set)
+    hops: int = 0
+
+    def succeeded(self) -> bool:
+        return bool(self.closest)
+
+
+class KademliaNode:
+    """The DHT state machine of a single peer."""
+
+    def __init__(
+        self,
+        peer_id: PeerId,
+        mode: DHTMode = DHTMode.SERVER,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        alpha: int = DEFAULT_ALPHA,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.peer_id = peer_id
+        self.mode = mode
+        self.alpha = alpha
+        self.rng = rng or random.Random()
+        self.routing_table = RoutingTable(peer_id, bucket_size=bucket_size)
+        self.lookups_performed = 0
+
+    # -- mode handling ----------------------------------------------------------
+
+    def set_mode(self, mode: DHTMode) -> None:
+        self.mode = mode
+
+    @property
+    def is_server(self) -> bool:
+        return self.mode is DHTMode.SERVER
+
+    # -- local RPC handlers ------------------------------------------------------
+
+    def handle_find_node(self, target: int, count: int = DEFAULT_CLOSER_PEERS) -> Optional[List[PeerId]]:
+        """Answer a FIND_NODE request; clients do not answer."""
+        if not self.is_server:
+            return None
+        return self.routing_table.closest_peers(target, count)
+
+    def observe_peer(self, peer: PeerId, is_server: bool = True) -> None:
+        """Record that we heard from ``peer`` (only servers enter the table)."""
+        if is_server:
+            self.routing_table.add_peer(peer)
+        else:
+            self.routing_table.remove_peer(peer)
+
+    def forget_peer(self, peer: PeerId) -> None:
+        self.routing_table.remove_peer(peer)
+
+    # -- iterative lookup ---------------------------------------------------------
+
+    def iterative_find_node(
+        self,
+        target: int,
+        query: QueryFn,
+        count: int = DEFAULT_CLOSER_PEERS,
+        max_queries: int = 64,
+        seeds: Optional[Iterable[PeerId]] = None,
+    ) -> LookupResult:
+        """Iteratively converge on the ``count`` peers closest to ``target``.
+
+        Standard Kademlia: repeatedly query the ``alpha`` closest not-yet
+        queried candidates, merge the replies, stop when no candidate closer
+        than the current best remains or ``max_queries`` is exhausted.
+        """
+        self.lookups_performed += 1
+        candidates: Set[PeerId] = set(seeds or [])
+        candidates.update(self.routing_table.closest_peers(target, count))
+        candidates.discard(self.peer_id)
+        queried: Set[PeerId] = set()
+        discovered: Set[PeerId] = set(candidates)
+        hops = 0
+
+        def dist(peer: PeerId) -> int:
+            return xor_distance(key_for_peer(peer), target)
+
+        while len(queried) < max_queries:
+            remaining = sorted(candidates - queried, key=dist)
+            if not remaining:
+                break
+            best_known = sorted(candidates, key=dist)[:count]
+            budget = max_queries - len(queried)
+            batch = remaining[: min(self.alpha, budget)]
+            progressed = False
+            hops += 1
+            for peer in batch:
+                queried.add(peer)
+                reply = query(peer, target, count)
+                if reply is None:
+                    continue
+                for found in reply:
+                    if found == self.peer_id:
+                        continue
+                    discovered.add(found)
+                    if found not in candidates:
+                        candidates.add(found)
+                        progressed = True
+                    self.routing_table.add_peer(found)
+            new_best = sorted(candidates, key=dist)[:count]
+            if not progressed and new_best == best_known:
+                break
+
+        closest = sorted(candidates, key=dist)[:count]
+        return LookupResult(
+            target=target,
+            closest=closest,
+            queried=queried,
+            discovered=discovered,
+            hops=hops,
+        )
+
+    def bootstrap(
+        self,
+        bootstrap_peers: Iterable[PeerId],
+        query: QueryFn,
+        refresh_lookups: int = 3,
+    ) -> LookupResult:
+        """Join the DHT: seed the table with bootstrap peers and self-lookup.
+
+        Afterwards a few random-key refresh lookups spread the table across the
+        keyspace, like go-libp2p's routing table refresh.
+        """
+        seeds = list(bootstrap_peers)
+        for peer in seeds:
+            self.routing_table.add_peer(peer)
+        result = self.iterative_find_node(key_for_peer(self.peer_id), query, seeds=seeds)
+        for _ in range(refresh_lookups):
+            self.iterative_find_node(random_key(self.rng), query)
+        return result
+
+    def refresh(self, query: QueryFn, lookups: int = 1) -> None:
+        """Periodic routing-table refresh (random-target lookups)."""
+        for _ in range(lookups):
+            self.iterative_find_node(random_key(self.rng), query)
+
+    # -- introspection -----------------------------------------------------------
+
+    def table_size(self) -> int:
+        return len(self.routing_table)
+
+    def neighborhood(self, count: int = DEFAULT_CLOSER_PEERS) -> List[PeerId]:
+        return self.routing_table.neighborhood(count)

@@ -1,0 +1,149 @@
+"""k-bucket routing tables.
+
+Each Kademlia node keeps up to ``k`` peers per distance bucket.  IPFS uses
+``k = 20``.  The routing table only ever contains DHT-Servers (peers announcing
+``/ipfs/kad/1.0.0``); this is the structural reason why crawlers — which walk
+routing tables — can never observe DHT-Clients, a distinction the paper's
+horizon comparison (Fig. 2) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.kademlia.keys import KEY_BITS, bucket_index, key_for_peer, xor_distance
+from repro.libp2p.peer_id import PeerId
+
+#: IPFS bucket size.
+DEFAULT_BUCKET_SIZE = 20
+
+
+@dataclass
+class KBucket:
+    """A single k-bucket with least-recently-seen eviction order."""
+
+    capacity: int = DEFAULT_BUCKET_SIZE
+    # Oldest (least recently seen) first, like the original Kademlia paper.
+    peers: List[PeerId] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.peers)
+
+    def __contains__(self, peer: PeerId) -> bool:
+        return peer in self.peers
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.peers) >= self.capacity
+
+    def touch(self, peer: PeerId) -> bool:
+        """Record activity from ``peer``.
+
+        Returns True if the peer is now in the bucket.  A known peer moves to
+        the tail (most recently seen); a new peer is appended if there is room.
+        Kademlia's ping-the-oldest eviction is simplified to "drop the new peer
+        when full", which is also what go-libp2p effectively does for unreplaced
+        entries.
+        """
+        if peer in self.peers:
+            self.peers.remove(peer)
+            self.peers.append(peer)
+            return True
+        if not self.is_full:
+            self.peers.append(peer)
+            return True
+        return False
+
+    def remove(self, peer: PeerId) -> bool:
+        if peer in self.peers:
+            self.peers.remove(peer)
+            return True
+        return False
+
+    def oldest(self) -> Optional[PeerId]:
+        return self.peers[0] if self.peers else None
+
+
+class RoutingTable:
+    """A full Kademlia routing table for one local peer."""
+
+    def __init__(self, local_peer: PeerId, bucket_size: int = DEFAULT_BUCKET_SIZE) -> None:
+        self.local_peer = local_peer
+        self.local_key = key_for_peer(local_peer)
+        self.bucket_size = bucket_size
+        self._buckets: Dict[int, KBucket] = {}
+
+    # -- updates ---------------------------------------------------------------
+
+    def add_peer(self, peer: PeerId) -> bool:
+        """Try to insert/refresh ``peer``; returns True if it is (now) present."""
+        if peer == self.local_peer:
+            return False
+        index = bucket_index(self.local_key, key_for_peer(peer))
+        bucket = self._buckets.setdefault(index, KBucket(capacity=self.bucket_size))
+        return bucket.touch(peer)
+
+    def add_peers(self, peers: Iterable[PeerId]) -> int:
+        """Insert many peers; returns how many ended up in the table."""
+        added = 0
+        for peer in peers:
+            if self.add_peer(peer):
+                added += 1
+        return added
+
+    def remove_peer(self, peer: PeerId) -> bool:
+        if peer == self.local_peer:
+            return False
+        index = bucket_index(self.local_key, key_for_peer(peer))
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            return False
+        removed = bucket.remove(peer)
+        if removed and not bucket.peers:
+            del self._buckets[index]
+        return removed
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, peer: PeerId) -> bool:
+        if peer == self.local_peer:
+            return False
+        index = bucket_index(self.local_key, key_for_peer(peer))
+        bucket = self._buckets.get(index)
+        return bucket is not None and peer in bucket
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def all_peers(self) -> List[PeerId]:
+        peers: List[PeerId] = []
+        for index in sorted(self._buckets):
+            peers.extend(self._buckets[index].peers)
+        return peers
+
+    def bucket_for(self, peer: PeerId) -> Optional[KBucket]:
+        if peer == self.local_peer:
+            return None
+        index = bucket_index(self.local_key, key_for_peer(peer))
+        return self._buckets.get(index)
+
+    def nonempty_bucket_indices(self) -> List[int]:
+        return sorted(self._buckets)
+
+    def closest_peers(self, target: int, count: int) -> List[PeerId]:
+        """Return up to ``count`` known peers closest (XOR) to ``target``."""
+        peers = self.all_peers()
+        peers.sort(key=lambda p: xor_distance(key_for_peer(p), target))
+        return peers[:count]
+
+    def neighborhood(self, count: int) -> List[PeerId]:
+        """Peers closest to the local key (the node's DHT neighbourhood)."""
+        return self.closest_peers(self.local_key, count)
+
+    def depth(self) -> int:
+        """Highest populated common-prefix length (how 'deep' the table goes)."""
+        if not self._buckets:
+            return 0
+        # Smaller bucket index == closer peers == deeper common prefix.
+        return KEY_BITS - 1 - min(self._buckets)

@@ -1,0 +1,60 @@
+"""Simulated libp2p key pairs.
+
+Real go-ipfs nodes generate a 2048 bit RSA (or ed25519) key; the PeerId is a
+multihash of the serialized public key.  The measurement study never uses the
+keys cryptographically — only the resulting identifier matters — so the
+simulation generates random "public keys" from a seeded RNG and hashes them the
+same way libp2p does.  This keeps identifier derivation deterministic per seed
+while preserving the property that a fresh key yields a fresh PeerId.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+RSA_2048 = "rsa-2048"
+ED25519 = "ed25519"
+
+_KEY_SIZES = {RSA_2048: 256, ED25519: 32}
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated key pair.
+
+    Only the public part is ever used (to derive the PeerId); the private part
+    is kept so a node can be restarted with a persisted identity, mirroring the
+    go-ipfs repository behaviour the paper describes (the authors deliberately
+    did *not* persist keys between runs).
+    """
+
+    key_type: str
+    public_key: bytes
+    private_key: bytes
+
+    def public_digest(self) -> bytes:
+        """Return the SHA-256 digest of the public key (PeerId preimage)."""
+        return hashlib.sha256(self.public_key).digest()
+
+    def short_id(self) -> str:
+        return self.public_digest()[:6].hex()
+
+
+def generate_keypair(
+    rng: Optional[random.Random] = None, key_type: str = RSA_2048
+) -> KeyPair:
+    """Generate a fresh simulated key pair.
+
+    ``rng`` makes generation deterministic for a seeded simulation; omitting it
+    falls back to the module-level RNG which is fine for examples.
+    """
+    if key_type not in _KEY_SIZES:
+        raise ValueError(f"unsupported key type: {key_type!r}")
+    rng = rng or random
+    size = _KEY_SIZES[key_type]
+    public = bytes(rng.getrandbits(8) for _ in range(size))
+    private = bytes(rng.getrandbits(8) for _ in range(size))
+    return KeyPair(key_type=key_type, public_key=public, private_key=private)

@@ -1,0 +1,80 @@
+"""The identify protocol's data record.
+
+When two libp2p peers connect they exchange an *identify* message containing
+the agent-version string, the list of supported protocols, and the addresses
+the peer believes it is reachable at.  The paper's measurement nodes record
+exactly this meta data per PID and track changes to it over time (Section IV.B,
+Fig. 3, Fig. 4, Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.protocols import supports_bitswap, supports_dht_server
+
+
+@dataclass(frozen=True)
+class IdentifyRecord:
+    """A snapshot of the meta data a peer announces via identify."""
+
+    agent_version: Optional[str]
+    protocols: FrozenSet[str]
+    listen_addrs: Tuple[Multiaddr, ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        agent_version: Optional[str],
+        protocols: Iterable[str],
+        listen_addrs: Iterable[Multiaddr] = (),
+    ) -> "IdentifyRecord":
+        return cls(
+            agent_version=agent_version,
+            protocols=frozenset(protocols),
+            listen_addrs=tuple(listen_addrs),
+        )
+
+    def is_dht_server(self) -> bool:
+        """A peer announcing /ipfs/kad/1.0.0 acts as a DHT-Server."""
+        return supports_dht_server(self.protocols)
+
+    def has_bitswap(self) -> bool:
+        return supports_bitswap(self.protocols)
+
+    def with_agent(self, agent_version: Optional[str]) -> "IdentifyRecord":
+        return replace(self, agent_version=agent_version)
+
+    def with_protocols(self, protocols: Iterable[str]) -> "IdentifyRecord":
+        return replace(self, protocols=frozenset(protocols))
+
+    def add_protocol(self, protocol: str) -> "IdentifyRecord":
+        return replace(self, protocols=self.protocols | {protocol})
+
+    def remove_protocol(self, protocol: str) -> "IdentifyRecord":
+        return replace(self, protocols=self.protocols - {protocol})
+
+    def protocol_diff(self, other: "IdentifyRecord") -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """Return (added, removed) protocols from ``self`` to ``other``."""
+        added = other.protocols - self.protocols
+        removed = self.protocols - other.protocols
+        return frozenset(added), frozenset(removed)
+
+    def as_dict(self) -> dict:
+        return {
+            "agent_version": self.agent_version,
+            "protocols": sorted(self.protocols),
+            "listen_addrs": [str(a) for a in self.listen_addrs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IdentifyRecord":
+        return cls.make(
+            agent_version=data.get("agent_version"),
+            protocols=data.get("protocols", ()),
+            listen_addrs=tuple(
+                Multiaddr.parse(a) for a in data.get("listen_addrs", ())
+            ),
+        )

@@ -1,0 +1,182 @@
+"""Multiaddresses.
+
+libp2p expresses transport addresses as self-describing "multiaddrs", e.g.
+``/ip4/147.75.80.1/tcp/4001`` or ``/ip4/10.0.0.2/udp/4001/quic``.  The paper's
+network-size estimation (Section V.A) groups PIDs by the IP component of the
+multiaddr they connected from, so the reproduction needs parsing, rendering and
+IP extraction, plus the private-address classification used to model NATed
+peers.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+_KNOWN_PROTOCOLS = {
+    "ip4": 1,
+    "ip6": 1,
+    "dns4": 1,
+    "dns6": 1,
+    "tcp": 1,
+    "udp": 1,
+    "quic": 0,
+    "quic-v1": 0,
+    "ws": 0,
+    "wss": 0,
+    "p2p": 1,
+    "ipfs": 1,
+    "p2p-circuit": 0,
+}
+
+
+@dataclass(frozen=True)
+class Multiaddr:
+    """An immutable multiaddress composed of (protocol, value) components."""
+
+    components: Tuple[Tuple[str, Optional[str]], ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "Multiaddr":
+        """Parse a slash-delimited multiaddr string."""
+        if not text.startswith("/"):
+            raise ValueError(f"multiaddr must start with '/': {text!r}")
+        parts = [p for p in text.split("/") if p != ""]
+        components: List[Tuple[str, Optional[str]]] = []
+        i = 0
+        while i < len(parts):
+            proto = parts[i]
+            if proto not in _KNOWN_PROTOCOLS:
+                raise ValueError(f"unknown multiaddr protocol: {proto!r}")
+            arity = _KNOWN_PROTOCOLS[proto]
+            if arity == 0:
+                components.append((proto, None))
+                i += 1
+            else:
+                if i + 1 >= len(parts):
+                    raise ValueError(f"protocol {proto!r} expects a value")
+                components.append((proto, parts[i + 1]))
+                i += 2
+        return cls(components=tuple(components))
+
+    @classmethod
+    def tcp(cls, ip: str, port: int = 4001) -> "Multiaddr":
+        family = "ip6" if ":" in ip else "ip4"
+        return cls(components=((family, ip), ("tcp", str(port))))
+
+    @classmethod
+    def quic(cls, ip: str, port: int = 4001) -> "Multiaddr":
+        family = "ip6" if ":" in ip else "ip4"
+        return cls(components=((family, ip), ("udp", str(port)), ("quic", None)))
+
+    @classmethod
+    def circuit_relay(cls, relay_ip: str, relay_peer: str) -> "Multiaddr":
+        """A relayed address: the observed IP belongs to the relay, not the peer."""
+        return cls(
+            components=(
+                ("ip4", relay_ip),
+                ("tcp", "4001"),
+                ("p2p", relay_peer),
+                ("p2p-circuit", None),
+            )
+        )
+
+    def ip(self) -> Optional[str]:
+        """Return the first IP (or DNS name) component's value, if any."""
+        for proto, value in self.components:
+            if proto in ("ip4", "ip6", "dns4", "dns6"):
+                return value
+        return None
+
+    def transport(self) -> Optional[str]:
+        """Return the transport protocol ('tcp', 'quic', 'ws', ...)."""
+        transports = [p for p, _ in self.components if p in ("tcp", "udp", "quic", "quic-v1", "ws", "wss")]
+        if "quic" in transports or "quic-v1" in transports:
+            return "quic"
+        if "wss" in transports:
+            return "wss"
+        if "ws" in transports:
+            return "ws"
+        if "tcp" in transports:
+            return "tcp"
+        if "udp" in transports:
+            return "udp"
+        return None
+
+    def port(self) -> Optional[int]:
+        for proto, value in self.components:
+            if proto in ("tcp", "udp") and value is not None:
+                return int(value)
+        return None
+
+    def is_relayed(self) -> bool:
+        return any(proto == "p2p-circuit" for proto, _ in self.components)
+
+    def is_private(self) -> bool:
+        """True when the IP component is a private / loopback / link-local address."""
+        ip = self.ip()
+        if ip is None:
+            return False
+        try:
+            addr = ipaddress.ip_address(ip)
+        except ValueError:
+            return False
+        return addr.is_private or addr.is_loopback or addr.is_link_local
+
+    def with_peer(self, peer_id: str) -> "Multiaddr":
+        return Multiaddr(components=self.components + (("p2p", peer_id),))
+
+    def __str__(self) -> str:
+        parts: List[str] = []
+        for proto, value in self.components:
+            parts.append(proto)
+            if value is not None:
+                parts.append(value)
+        return "/" + "/".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Multiaddr({str(self)!r})"
+
+
+def random_public_ipv4(rng: random.Random) -> str:
+    """Draw a random globally-routable IPv4 address."""
+    while True:
+        octets = [rng.randint(1, 223), rng.randint(0, 255), rng.randint(0, 255), rng.randint(1, 254)]
+        addr = ipaddress.ip_address(".".join(str(o) for o in octets))
+        if not (addr.is_private or addr.is_loopback or addr.is_multicast
+                or addr.is_link_local or addr.is_reserved):
+            return str(addr)
+
+
+def random_private_ipv4(rng: random.Random) -> str:
+    """Draw a random RFC1918 address (used for NATed peers' self-reported addrs)."""
+    pick = rng.random()
+    if pick < 0.5:
+        return f"192.168.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+    if pick < 0.8:
+        return f"10.{rng.randint(0, 255)}.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+    return f"172.{rng.randint(16, 31)}.{rng.randint(0, 255)}.{rng.randint(1, 254)}"
+
+
+def addresses_for_peer(
+    public_ip: str,
+    rng: random.Random,
+    behind_nat: bool = False,
+    port: int = 4001,
+    include_quic: bool = True,
+) -> List[Multiaddr]:
+    """Build a plausible advertised address list for a peer.
+
+    go-ipfs nodes usually advertise a private listen address plus (when not
+    NATed or after hole punching) their public address, over both TCP and QUIC.
+    """
+    addrs: List[Multiaddr] = [Multiaddr.tcp(random_private_ipv4(rng), port)]
+    if include_quic:
+        addrs.append(Multiaddr.quic(random_private_ipv4(rng), port))
+    if not behind_nat:
+        addrs.append(Multiaddr.tcp(public_ip, port))
+        if include_quic:
+            addrs.append(Multiaddr.quic(public_ip, port))
+    return addrs

@@ -1,0 +1,142 @@
+"""Protocol identifiers and protocol-set helpers.
+
+Fig. 4 of the paper counts the occurrences of supported protocol strings across
+all observed peers, and Section IV.B reasons about combinations (go-ipfs agents
+without Bitswap, storm nodes announcing ``/sbptp/1.0.0``, role flips visible as
+``/ipfs/kad/1.0.0`` appearing/disappearing).  This module centralises the
+protocol ID strings and provides the canonical protocol sets announced by the
+client types the paper observes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+# Core IPFS / libp2p protocols seen in Fig. 4.
+IPFS_ID = "/ipfs/id/1.0.0"
+IPFS_ID_PUSH = "/ipfs/id/push/1.0.0"
+IPFS_PING = "/ipfs/ping/1.0.0"
+KAD_DHT = "/ipfs/kad/1.0.0"
+LAN_KAD_DHT = "/ipfs/lan/kad/1.0.0"
+BITSWAP = "/ipfs/bitswap"
+BITSWAP_100 = "/ipfs/bitswap/1.0.0"
+BITSWAP_110 = "/ipfs/bitswap/1.1.0"
+BITSWAP_120 = "/ipfs/bitswap/1.2.0"
+AUTONAT = "/libp2p/autonat/1.0.0"
+RELAY_V1 = "/libp2p/circuit/relay/0.1.0"
+RELAY_V2_STOP = "/libp2p/circuit/relay/0.2.0/stop"
+FETCH = "/libp2p/fetch/0.0.1"
+ID_DELTA = "/p2p/id/delta/1.0.0"
+FLOODSUB = "/floodsub/1.0.0"
+MESHSUB_100 = "/meshsub/1.0.0"
+MESHSUB_110 = "/meshsub/1.1.0"
+X_PROTOCOL = "/x/"
+
+# Protocols specific to anomalous or exotic agents mentioned in the paper.
+SBPTP = "/sbptp/1.0.0"           # announced by storm botnet nodes
+SFST_1 = "/sfst/1.0.0"
+SFST_2 = "/sfst/2.0.0"
+IOI_DIAL = "/ioi/dial/1.0.0"
+IOI_PORTSSUB = "/ioi/portssub/1.0.0"
+
+BITSWAP_PROTOCOLS: FrozenSet[str] = frozenset(
+    {BITSWAP, BITSWAP_100, BITSWAP_110, BITSWAP_120}
+)
+
+
+def baseline_protocols() -> Set[str]:
+    """Protocols announced by essentially every go-ipfs-like client."""
+    return {
+        IPFS_ID,
+        IPFS_ID_PUSH,
+        IPFS_PING,
+        RELAY_V1,
+        AUTONAT,
+        FLOODSUB,
+        MESHSUB_100,
+        MESHSUB_110,
+        ID_DELTA,
+    }
+
+
+def goipfs_protocols(
+    dht_server: bool = True,
+    bitswap: bool = True,
+    modern: bool = True,
+) -> Set[str]:
+    """Return the protocol set a go-ipfs client announces.
+
+    ``dht_server`` adds ``/ipfs/kad/1.0.0`` (the paper uses exactly this to
+    identify DHT-Server nodes), ``bitswap`` adds the Bitswap family, ``modern``
+    adds protocols only present in recent releases (relay v2 stop, fetch).
+    """
+    protocols = baseline_protocols()
+    protocols.add(LAN_KAD_DHT)
+    if dht_server:
+        protocols.add(KAD_DHT)
+    if bitswap:
+        protocols.update({BITSWAP, BITSWAP_100, BITSWAP_110, BITSWAP_120})
+    if modern:
+        protocols.update({RELAY_V2_STOP, FETCH, X_PROTOCOL})
+    return protocols
+
+
+def hydra_protocols() -> Set[str]:
+    """Hydra heads serve the DHT and identify/ping but no Bitswap."""
+    return {IPFS_ID, IPFS_PING, KAD_DHT}
+
+
+def crawler_protocols() -> Set[str]:
+    """Crawlers typically only speak identify + DHT client messages."""
+    return {IPFS_ID, IPFS_PING}
+
+
+def storm_protocols() -> Set[str]:
+    """IPStorm botnet nodes announce custom protocols instead of Bitswap."""
+    protocols = baseline_protocols()
+    protocols.update({KAD_DHT, SBPTP, SFST_1, SFST_2})
+    protocols.discard(FLOODSUB)
+    return protocols
+
+
+def supports_bitswap(protocols: Iterable[str]) -> bool:
+    return any(p in BITSWAP_PROTOCOLS for p in protocols)
+
+
+def supports_dht_server(protocols: Iterable[str]) -> bool:
+    return KAD_DHT in set(protocols)
+
+
+class ProtocolRegistry:
+    """Counts protocol announcements across a set of peers (Fig. 4)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add_peer(self, protocols: Iterable[str]) -> None:
+        for proto in set(protocols):
+            self._counts[proto] = self._counts.get(proto, 0) + 1
+
+    def counts(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def grouped(self, threshold: int) -> Dict[str, int]:
+        """Group protocols supported by ``threshold`` or fewer peers as 'other'."""
+        grouped: Dict[str, int] = {}
+        other = 0
+        for proto, count in self._counts.items():
+            if count <= threshold:
+                other += count
+            else:
+                grouped[proto] = count
+        if other:
+            grouped["other"] = other
+        return grouped
+
+    def top(self, n: int) -> List[str]:
+        return [
+            proto
+            for proto, _ in sorted(
+                self._counts.items(), key=lambda kv: kv[1], reverse=True
+            )[:n]
+        ]

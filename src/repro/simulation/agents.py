@@ -1,0 +1,180 @@
+"""The synthetic agent-string catalogue.
+
+Fig. 3 of the paper shows the observed distribution of agent versions: the bulk
+of the network runs some go-ipfs release (0.4.x through 0.11.0 plus -dev
+builds), plus hydra-booster heads, self-identified crawlers, the IPStorm botnet
+("storm"), an assortment of exotic agents (go-qkfile, ant, ioi, even a
+go-ethereum node) and a tail of peers that never delivered an agent string.
+
+The catalogue below reproduces that composition.  Shares are expressed as
+weights relative to the whole population and follow Section IV.B's absolute
+counts (50'254 go-ipfs, 1'028 hydra, 586 crawler, 10'926 other, 3'059 missing
+out of 65'853 PIDs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.libp2p.agent import GO_IPFS_PREFIX, GoIpfsVersion, parse_goipfs_agent
+
+__all__ = ["AgentCatalog", "GoIpfsVersion", "parse_goipfs_agent", "AgentSample"]
+
+
+#: go-ipfs release distribution (release string -> relative weight), modelled on
+#: Fig. 3: 0.8.0 to 0.11.0 dominate, older 0.4.x releases linger, -dev builds
+#: are rare.  The absolute occupancy of individual releases does not matter for
+#: any claim; orderings (0.11.0/0.10.0/0.8.0 on top) do.
+GO_IPFS_RELEASE_WEIGHTS: Dict[str, float] = {
+    "0.11.0": 0.26,
+    "0.10.0": 0.20,
+    "0.9.1": 0.07,
+    "0.9.0": 0.05,
+    "0.8.0": 0.22,      # inflated by the storm population masquerading as 0.8.0
+    "0.7.0": 0.06,
+    "0.6.0": 0.04,
+    "0.5.0-dev": 0.01,
+    "0.4.23": 0.03,
+    "0.4.22": 0.03,
+    "0.4.21": 0.02,
+    "0.11.0-dev": 0.01,
+}
+
+#: Non-go-ipfs agents observed in Fig. 3 (excluding hydra and crawlers, which
+#: are assigned by role, and excluding "missing").
+OTHER_AGENT_WEIGHTS: Dict[str, float] = {
+    "storm": 0.45,
+    "go-qkfile/0.9.1/": 0.20,
+    "ant/0.2.1/fe027af": 0.12,
+    "ioi": 0.10,
+    "rust-ipfs/0.1.0": 0.05,
+    "js-ipfs/0.55.0": 0.05,
+    "go-ethereum/v1.10.13": 0.03,
+}
+
+CRAWLER_AGENTS: Tuple[str, ...] = (
+    "nebula-crawler/1.0.0",
+    "ipfs crawler",
+)
+
+HYDRA_AGENT = "hydra-booster/0.7.4"
+
+#: Commit hashes used to synthesise the "commit" part of go-ipfs agent strings.
+_COMMIT_POOL: Tuple[str, ...] = (
+    "0c2f9d5", "b2efcf5", "67220ed", "3e0ca8c", "ce693d7", "d6cbf95",
+    "f7e9b4a", "9a1cbe3", "aa21781", "5bb3fc2", "8cde761", "2f7a0d9",
+)
+
+
+@dataclass(frozen=True)
+class AgentSample:
+    """An agent string plus the derived facts the simulation needs."""
+
+    agent: Optional[str]          # None models a peer whose identify never completed
+    is_goipfs: bool
+    is_storm: bool
+    release: Optional[str] = None
+
+
+class AgentCatalog:
+    """Samples agent strings for the synthetic population."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self._goipfs_releases = list(GO_IPFS_RELEASE_WEIGHTS.items())
+        self._other_agents = list(OTHER_AGENT_WEIGHTS.items())
+
+    # -- go-ipfs ---------------------------------------------------------------
+
+    def sample_goipfs_release(self) -> str:
+        return self._weighted_choice(self._goipfs_releases)
+
+    def make_goipfs_agent(self, release: Optional[str] = None, dirty_probability: float = 0.08) -> str:
+        """Build a full go-ipfs agent string with a commit part."""
+        release = release or self.sample_goipfs_release()
+        commit = self.rng.choice(_COMMIT_POOL)
+        dirty = self.rng.random() < dirty_probability
+        suffix = "-dirty" if dirty else ""
+        return f"{GO_IPFS_PREFIX}/{release}/{commit}{suffix}"
+
+    def upgraded_release(self, release: str) -> str:
+        """Return a release string strictly newer than ``release`` (if possible)."""
+        ordered = self._ordered_releases()
+        try:
+            idx = ordered.index(release)
+        except ValueError:
+            return ordered[-1]
+        newer = ordered[idx + 1:] or ordered[-1:]
+        return self.rng.choice(newer) if isinstance(newer, list) and newer else ordered[-1]
+
+    def downgraded_release(self, release: str) -> str:
+        """Return a release string strictly older than ``release`` (if possible)."""
+        ordered = self._ordered_releases()
+        try:
+            idx = ordered.index(release)
+        except ValueError:
+            return ordered[0]
+        older = ordered[:idx] or ordered[:1]
+        return self.rng.choice(older) if older else ordered[0]
+
+    def _ordered_releases(self) -> List[str]:
+        def key(release: str) -> Tuple[int, int, int]:
+            parsed = parse_goipfs_agent(f"{GO_IPFS_PREFIX}/{release}")
+            assert parsed is not None
+            return parsed.release
+
+        return sorted(GO_IPFS_RELEASE_WEIGHTS, key=key)
+
+    # -- other agent families ----------------------------------------------------
+
+    def sample_other_agent(self) -> str:
+        return self._weighted_choice(self._other_agents)
+
+    def sample_crawler_agent(self) -> str:
+        return self.rng.choice(CRAWLER_AGENTS)
+
+    def hydra_agent(self) -> str:
+        return HYDRA_AGENT
+
+    # -- sampling by population share --------------------------------------------
+
+    def sample(
+        self,
+        goipfs_share: float = 0.763,
+        other_share: float = 0.166,
+        missing_share: float = 0.046,
+        storm_share: float = 0.114,
+    ) -> AgentSample:
+        """Draw an agent for a generic (non-hydra, non-crawler) peer.
+
+        Shares follow Section IV.B: 50'254/65'853 go-ipfs, 10'926 other,
+        3'059 missing; 7'498 storm-like peers masquerade as go-ipfs 0.8.0
+        (they announce /sbptp/ instead of Bitswap).
+        """
+        roll = self.rng.random()
+        if roll < missing_share:
+            return AgentSample(agent=None, is_goipfs=False, is_storm=False)
+        if roll < missing_share + other_share:
+            agent = self.sample_other_agent()
+            return AgentSample(agent=agent, is_goipfs=False, is_storm=agent == "storm")
+        # go-ipfs population; a slice of it is the storm botnet hiding behind 0.8.0
+        if self.rng.random() < storm_share:
+            agent = self.make_goipfs_agent(release="0.8.0")
+            return AgentSample(agent=agent, is_goipfs=True, is_storm=True, release="0.8.0")
+        release = self.sample_goipfs_release()
+        agent = self.make_goipfs_agent(release=release)
+        return AgentSample(agent=agent, is_goipfs=True, is_storm=False, release=release)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _weighted_choice(self, items: Sequence[Tuple[str, float]]) -> str:
+        total = sum(weight for _, weight in items)
+        roll = self.rng.random() * total
+        cumulative = 0.0
+        for value, weight in items:
+            cumulative += weight
+            if roll <= cumulative:
+                return value
+        return items[-1][0]

@@ -1,0 +1,133 @@
+"""Meta-data behaviours of simulated peers.
+
+Section IV.B of the paper observes that announced meta data is *mostly*
+constant, but not entirely:
+
+* go-ipfs agents upgrade, downgrade, or change their commit (Table III),
+* peers flap their ``/ipfs/kad/1.0.0`` announcement, i.e. switch between
+  DHT-Server and DHT-Client roles (2'481 peers, 68'396 changes), and
+* peers flap ``/libp2p/autonat/1.0.0`` (3'603 peers, 86'651 changes).
+
+This module schedules those behaviours on the event engine and pushes the
+resulting identify updates through the network fabric so the measurement nodes
+observe them the same way the paper's clients did (identify-push / refresh on
+an open connection).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.libp2p.agent import parse_goipfs_agent
+from repro.simulation.agents import AgentCatalog
+from repro.simulation.churn_models import HOUR
+from repro.simulation.engine import Engine
+from repro.simulation.network import SimPeer, SimulatedNetwork
+from repro.simulation.population import VersionBehavior
+
+
+@dataclass
+class BehaviorConfig:
+    """Timing knobs of the meta-data behaviours."""
+
+    #: mean time between two role flips of a flapping peer (~27 flips / 3 d)
+    role_flip_interval: float = 2.6 * HOUR
+    #: mean time between two autonat flips of a flapping peer (~24 flips / 3 d)
+    autonat_flip_interval: float = 2.9 * HOUR
+    #: version changes happen once, somewhere in the middle of the measurement
+    version_change_window: tuple = (0.1, 0.9)
+    #: probability that a dirty build stays dirty after a change (Table III is
+    #: dominated by main–main and dirty–dirty transitions)
+    keep_dirty_probability: float = 0.95
+    keep_main_probability: float = 0.97
+
+
+class MetadataBehaviors:
+    """Schedules version changes, role flips, and autonat flapping."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: SimulatedNetwork,
+        rng: Optional[random.Random] = None,
+        config: Optional[BehaviorConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.rng = rng or random.Random(network.population.config.seed + 2)
+        self.config = config or BehaviorConfig()
+        self.catalog = AgentCatalog(self.rng)
+        self.version_changes_applied = 0
+        self.role_flips_applied = 0
+        self.autonat_flips_applied = 0
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def schedule_all(self, duration: float) -> None:
+        """Schedule behaviours for every peer in the network."""
+        for peer in self.network.peers:
+            profile = peer.profile
+            if profile.version_behavior is not VersionBehavior.STABLE:
+                low, high = self.config.version_change_window
+                at = self.rng.uniform(low * duration, high * duration)
+                self.engine.schedule(at, self._apply_version_change, peer)
+            if profile.flips_role:
+                self._schedule_role_flip(peer, duration)
+            if profile.flips_autonat:
+                self._schedule_autonat_flip(peer, duration)
+
+    # -- version changes ---------------------------------------------------------------
+
+    def _apply_version_change(self, peer: SimPeer) -> None:
+        parsed = parse_goipfs_agent(peer.agent)
+        if parsed is None:
+            return
+        behavior = peer.profile.version_behavior
+        if behavior is VersionBehavior.UPGRADE:
+            release = self.catalog.upgraded_release(parsed.release_string)
+        elif behavior is VersionBehavior.DOWNGRADE:
+            release = self.catalog.downgraded_release(parsed.release_string)
+        else:
+            release = parsed.release_string
+        if parsed.dirty:
+            stay_dirty = self.rng.random() < self.config.keep_dirty_probability
+        else:
+            stay_dirty = self.rng.random() > self.config.keep_main_probability
+        new_agent = self.catalog.make_goipfs_agent(
+            release=release, dirty_probability=1.0 if stay_dirty else 0.0
+        )
+        if new_agent == peer.agent:
+            return
+        peer.agent = new_agent
+        self.version_changes_applied += 1
+        self.network.push_identify(peer)
+
+    # -- role flips -----------------------------------------------------------------------
+
+    def _schedule_role_flip(self, peer: SimPeer, duration: float) -> None:
+        delay = self.rng.expovariate(1.0 / self.config.role_flip_interval)
+        if self.engine.now + delay > duration:
+            return
+        self.engine.schedule(delay, self._apply_role_flip, peer, duration)
+
+    def _apply_role_flip(self, peer: SimPeer, duration: float) -> None:
+        peer.kad_announced = not peer.kad_announced
+        self.role_flips_applied += 1
+        self.network.push_identify(peer)
+        self._schedule_role_flip(peer, duration)
+
+    # -- autonat flips ------------------------------------------------------------------------
+
+    def _schedule_autonat_flip(self, peer: SimPeer, duration: float) -> None:
+        delay = self.rng.expovariate(1.0 / self.config.autonat_flip_interval)
+        if self.engine.now + delay > duration:
+            return
+        self.engine.schedule(delay, self._apply_autonat_flip, peer, duration)
+
+    def _apply_autonat_flip(self, peer: SimPeer, duration: float) -> None:
+        peer.autonat_announced = not peer.autonat_announced
+        self.autonat_flips_applied += 1
+        self.network.push_identify(peer)
+        self._schedule_autonat_flip(peer, duration)

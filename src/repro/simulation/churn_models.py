@@ -1,0 +1,213 @@
+"""Session (uptime / downtime) models for simulated peers.
+
+P2P measurement literature consistently finds heavy-tailed session lengths:
+most sessions are short, a small core stays online for days.  The paper's
+Table IV classification (heavy / normal / light / one-time) is exactly a
+coarse-graining of that behaviour as seen through connection records.  The
+distributions here drive the ground-truth session behaviour of the synthetic
+population; the analysis code then has to *recover* the classification from
+the recorded connections, the same way the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+DAY = 86_400.0
+HOUR = 3_600.0
+MINUTE = 60.0
+
+
+class Distribution(Protocol):
+    """A positive random variable (durations in seconds)."""
+
+    def sample(self, rng: random.Random) -> float:  # pragma: no cover - protocol
+        ...
+
+    def mean(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class FixedDistribution:
+    """Always returns the same value (useful in tests and for crawler probes)."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("value must be non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UniformDistribution:
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("require 0 <= low <= high")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class ExponentialDistribution:
+    """Memoryless durations; ``mean_value`` is the expected duration."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("mean must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_value)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class WeibullDistribution:
+    """Weibull durations; shape < 1 gives the heavy tail typical of P2P churn."""
+
+    scale: float
+    shape: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.shape <= 0:
+            raise ValueError("scale and shape must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.weibullvariate(self.scale, self.shape)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+
+@dataclass(frozen=True)
+class LogNormalDistribution:
+    """Log-normal durations parameterised by the underlying normal's mu/sigma."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    @classmethod
+    def from_median_and_sigma(cls, median: float, sigma: float) -> "LogNormalDistribution":
+        if median <= 0:
+            raise ValueError("median must be positive")
+        return cls(mu=math.log(median), sigma=sigma)
+
+
+@dataclass(frozen=True)
+class ParetoDistribution:
+    """Pareto durations (power-law tail) with a minimum value ``xm``."""
+
+    xm: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if self.xm <= 0 or self.alpha <= 0:
+            raise ValueError("xm and alpha must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.xm * (1.0 + rng.paretovariate(self.alpha) - 1.0)
+
+    def mean(self) -> float:
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+
+@dataclass(frozen=True)
+class SessionModel:
+    """Alternating online/offline behaviour of a peer.
+
+    ``max_sessions`` caps how often the peer ever (re)joins — one-time peers
+    use 1 or 2; ``None`` means unbounded.
+    """
+
+    uptime: Distribution
+    downtime: Distribution
+    max_sessions: Optional[int] = None
+    #: probability that the peer is already online when the measurement starts
+    initially_online_probability: float = 0.5
+
+    def initial_state(self, rng: random.Random) -> Tuple[bool, float]:
+        """Return (online?, time until the first state change)."""
+        online = rng.random() < self.initially_online_probability
+        # Residual time of the in-progress session/downtime.  Sampling a fresh
+        # duration is a standard simplification (exact residuals would need the
+        # stationary distribution); it slightly shortens observed first
+        # sessions, which is conservative for the classification analysis.
+        duration = self.uptime.sample(rng) if online else self.downtime.sample(rng)
+        return online, duration
+
+    def next_uptime(self, rng: random.Random) -> float:
+        return self.uptime.sample(rng)
+
+    def next_downtime(self, rng: random.Random) -> float:
+        return self.downtime.sample(rng)
+
+
+# -- canonical session models for the paper's peer classes ------------------------
+
+def always_on_session() -> SessionModel:
+    """Heavy peers: effectively always online for the whole measurement."""
+    return SessionModel(
+        uptime=ExponentialDistribution(30 * DAY),
+        downtime=UniformDistribution(MINUTE, 10 * MINUTE),
+        initially_online_probability=1.0,
+    )
+
+
+def normal_session() -> SessionModel:
+    """Normal peers: sessions of a few hours to a day, daily usage pattern."""
+    return SessionModel(
+        uptime=LogNormalDistribution.from_median_and_sigma(6 * HOUR, 0.8),
+        downtime=LogNormalDistribution.from_median_and_sigma(8 * HOUR, 0.8),
+        initially_online_probability=0.5,
+    )
+
+
+def light_session() -> SessionModel:
+    """Light peers: many short sessions (repeated experimentation, flaky nodes)."""
+    return SessionModel(
+        uptime=WeibullDistribution(scale=20 * MINUTE, shape=0.7),
+        downtime=WeibullDistribution(scale=2 * HOUR, shape=0.8),
+        initially_online_probability=0.3,
+    )
+
+
+def one_time_session(rng_sessions: int = 1) -> SessionModel:
+    """One-time peers: one or two short appearances, never to return."""
+    return SessionModel(
+        uptime=LogNormalDistribution.from_median_and_sigma(15 * MINUTE, 1.0),
+        downtime=UniformDistribution(10 * MINUTE, 2 * HOUR),
+        max_sessions=rng_sessions,
+        initially_online_probability=0.0,
+    )

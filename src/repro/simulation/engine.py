@@ -1,0 +1,133 @@
+"""A minimal discrete-event simulation engine.
+
+Single-threaded, deterministic, and intentionally boring: a binary heap of
+timestamped callbacks.  Simulated time is measured in seconds; scenarios run
+for one to fourteen simulated days, which corresponds to the paper's
+measurement periods.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback; cancellation simply marks it dead."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.1f}, {name}, cancelled={self.cancelled})"
+
+
+class Engine:
+    """The event loop: schedule callbacks and advance simulated time."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._heap: List[_HeapEntry] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        event = Event(time, callback, args)
+        heapq.heappush(self._heap, _HeapEntry(time, next(self._sequence), event))
+        return event
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def run_until(self, end_time: float) -> None:
+        """Process events with ``time <= end_time``; leaves ``now == end_time``."""
+        if end_time < self._now:
+            raise ValueError("end_time precedes current simulated time")
+        while self._heap and self._heap[0].time <= end_time:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            self._now = entry.time
+            self.events_processed += 1
+            event.callback(*event.args)
+        self._now = end_time
+
+    def run(self) -> None:
+        """Drain every queued event (useful for small unit-test scenarios)."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            self.events_processed += 1
+            entry.event.callback(*entry.event.args)
+
+
+class PeriodicTask:
+    """Re-schedules a callback at a fixed interval (peerstore polling, trims).
+
+    The hydra-booster changes in the paper are literally "two new
+    PeriodicTasks"; this mirrors that abstraction.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        interval: float,
+        callback: Callable[[float], None],
+        start_delay: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.interval = interval
+        self.callback = callback
+        self._stopped = False
+        self._event: Optional[Event] = None
+        delay = interval if start_delay is None else start_delay
+        self._event = engine.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.callback(self.engine.now)
+        if not self._stopped:
+            self._event = self.engine.schedule(self.interval, self._fire)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()

@@ -1,0 +1,520 @@
+"""The simulated IPFS network fabric.
+
+This module wires the synthetic population to the measurement identities
+(go-ipfs node, hydra heads) on top of the discrete-event engine:
+
+* **sessions** — peers come online and go offline according to their ground
+  truth session model; one-time peers appear once, spread over the whole
+  measurement window.
+* **contacts** — while online, a peer eventually discovers each measurement
+  identity (faster when the identity is a DHT-Server, fastest when the peer
+  sits in the identity's Kademlia neighbourhood) and opens a connection.
+* **connection lifetime** — a connection ends because the remote trims it
+  (default go-ipfs watermarks at the remote), the remote goes offline, our own
+  connection manager trims it, a short protocol exchange finishes (crawlers),
+  or the measurement ends.  These close reasons are exactly the churn sources
+  the paper discusses in Section IV.A.
+* **identify** — after connecting, peers exchange identify records (agent,
+  protocols, addresses); meta-data behaviours push updates later.
+* **DHT queries** — online DHT-Servers answer FIND_NODE queries from their
+  routing tables, which is what the active crawler baseline walks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.kademlia.dht import DHTMode
+from repro.kademlia.keys import key_for_peer, xor_distance
+from repro.kademlia.routing_table import RoutingTable
+from repro.libp2p.connection import CloseReason, Connection, Direction
+from repro.libp2p.identify import IdentifyRecord
+from repro.libp2p.multiaddr import Multiaddr, addresses_for_peer
+from repro.libp2p.peer_id import PeerId
+from repro.libp2p.protocols import AUTONAT, KAD_DHT
+from repro.core.measurement import PassiveMeasurement
+from repro.simulation.churn_models import HOUR, MINUTE
+from repro.simulation.engine import Engine, PeriodicTask
+from repro.simulation.population import PeerClass, PeerProfile, Population
+
+
+@dataclass
+class NetworkConfig:
+    """Tunables of the network fabric (not of the population)."""
+
+    #: remote peers' grace period + mean additional delay before they trim a
+    #: connection they do not value (defaults mimic go-ipfs 20 s grace plus a
+    #: trim cycle hitting within a couple of minutes).
+    remote_grace: float = 20.0
+    remote_trim_mean: float = 70.0
+    #: how strongly a DHT-Client measurement node is discovered less often
+    client_discovery_penalty: float = 10.0
+    #: probability that a peer ever bothers contacting a DHT-Client vantage point
+    client_contact_probability: float = 0.15
+    #: how much less a remote values a connection to a DHT-Client vantage point
+    client_keep_factor: float = 0.04
+    #: size of a measurement identity's Kademlia neighbourhood (fast discovery)
+    neighborhood_size: int = 30
+    neighborhood_delay_max: float = 15 * MINUTE
+    #: measurement node's own periodic maintenance
+    identity_tick_interval: float = 60.0
+    outbound_dial_interval: float = 300.0
+    outbound_dial_batch: int = 3
+    #: probability that an identify exchange completes on a new connection
+    identify_success: float = 0.97
+    #: share of one-time peers that reconnect once after losing their connection
+    one_time_reconnect_probability: float = 0.3
+    #: routing-table bootstrap sample per simulated DHT-Server
+    routing_table_sample: int = 120
+    #: entries pointing at peers offline for longer than this are not returned
+    routing_entry_expiry: float = 2 * HOUR
+    #: interval between crawl contacts of crawler-like peers
+    crawler_contact_interval: float = 8 * HOUR
+    crawler_probe_duration: tuple = (10.0, 60.0)
+
+
+class SimPeer:
+    """Runtime state of one simulated remote peer."""
+
+    __slots__ = (
+        "profile",
+        "rng",
+        "current_pid",
+        "all_pids",
+        "online",
+        "sessions_started",
+        "connections",
+        "kad_announced",
+        "autonat_announced",
+        "agent",
+        "routing_table",
+        "last_online_at",
+        "addrs",
+    )
+
+    def __init__(self, profile: PeerProfile, rng: random.Random) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.current_pid = PeerId.random(rng)
+        self.all_pids: Set[PeerId] = {self.current_pid}
+        self.online = False
+        self.sessions_started = 0
+        #: label -> open Connection at the corresponding measurement identity
+        self.connections: Dict[str, Connection] = {}
+        self.kad_announced = profile.is_dht_server
+        self.autonat_announced = AUTONAT in profile.protocols
+        self.agent = profile.agent
+        self.routing_table: Optional[RoutingTable] = None
+        self.last_online_at = float("-inf")
+        self.addrs: List[Multiaddr] = addresses_for_peer(
+            profile.public_ip, rng, behind_nat=profile.behind_nat
+        )
+
+    # -- identity ------------------------------------------------------------------
+
+    def rotate_pid(self) -> None:
+        self.current_pid = PeerId.random(self.rng)
+        self.all_pids.add(self.current_pid)
+        if self.routing_table is not None:
+            self.routing_table = RoutingTable(self.current_pid)
+
+    def dial_addr(self) -> Multiaddr:
+        """The multiaddr the measurement node observes for this peer's connections."""
+        return Multiaddr.tcp(self.profile.public_ip, port=4001 + (self.profile.peer_index % 1000))
+
+    def identify_record(self) -> IdentifyRecord:
+        protocols = set(self.profile.protocols)
+        if self.kad_announced:
+            protocols.add(KAD_DHT)
+        else:
+            protocols.discard(KAD_DHT)
+        if self.autonat_announced:
+            protocols.add(AUTONAT)
+        else:
+            protocols.discard(AUTONAT)
+        return IdentifyRecord.make(
+            agent_version=self.agent,
+            protocols=protocols,
+            listen_addrs=self.addrs,
+        )
+
+    @property
+    def is_dht_server(self) -> bool:
+        return self.kad_announced
+
+
+class MeasurementIdentity:
+    """One passive vantage point (a go-ipfs node or a single hydra head)."""
+
+    def __init__(
+        self,
+        label: str,
+        node,
+        poll_interval: float = 30.0,
+        is_dht_server: Optional[bool] = None,
+    ) -> None:
+        self.label = label
+        self.node = node
+        self.poll_interval = poll_interval
+        if is_dht_server is None:
+            is_dht_server = bool(getattr(node, "is_dht_server", True))
+        self.is_dht_server = is_dht_server
+        role = "server" if is_dht_server else "client"
+        self.measurement = PassiveMeasurement(node, label, measurement_role=role,
+                                              poll_interval=poll_interval)
+        self.neighborhood: Set[PeerId] = set()
+
+    @property
+    def peer_id(self) -> PeerId:
+        return self.node.peer_id
+
+
+class SimulatedNetwork:
+    """Glue between population, measurement identities, and the event engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        population: Population,
+        rng: Optional[random.Random] = None,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.population = population
+        self.rng = rng or random.Random(population.config.seed + 1)
+        self.config = config or NetworkConfig()
+        self.identities: List[MeasurementIdentity] = []
+        self.peers: List[SimPeer] = [SimPeer(p, self.rng) for p in population]
+        self.peers_by_pid: Dict[PeerId, SimPeer] = {p.current_pid: p for p in self.peers}
+        self._duration: Optional[float] = None
+        self._tasks: List[PeriodicTask] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ setup ----
+
+    def add_measurement_identity(self, identity: MeasurementIdentity) -> None:
+        if self._started:
+            raise RuntimeError("identities must be added before start()")
+        self.identities.append(identity)
+
+    def start(self, duration: float) -> None:
+        """Schedule every process for a measurement of ``duration`` seconds."""
+        if self._started:
+            raise RuntimeError("network already started")
+        self._started = True
+        self._duration = duration
+        self._build_routing_tables()
+        self._compute_neighborhoods()
+        for identity in self.identities:
+            self._tasks.append(
+                PeriodicTask(self.engine, identity.poll_interval,
+                             lambda now, ident=identity: ident.measurement.poll(now))
+            )
+            self._tasks.append(
+                PeriodicTask(self.engine, self.config.identity_tick_interval,
+                             lambda now, ident=identity: self._identity_tick(ident, now))
+            )
+            self._tasks.append(
+                PeriodicTask(self.engine, self.config.outbound_dial_interval,
+                             lambda now, ident=identity: self._identity_outbound(ident, now))
+            )
+        for peer in self.peers:
+            self._schedule_initial_session(peer, duration)
+
+    def _build_routing_tables(self) -> None:
+        """Seed each simulated DHT-Server's routing table with other servers."""
+        server_peers = [p for p in self.peers if p.profile.is_dht_server]
+        server_pids = [p.current_pid for p in server_peers]
+        sample_size = min(self.config.routing_table_sample, max(0, len(server_pids) - 1))
+        for peer in server_peers:
+            table = RoutingTable(peer.current_pid)
+            if sample_size:
+                for pid in self.rng.sample(server_pids, sample_size):
+                    if pid != peer.current_pid:
+                        table.add_peer(pid)
+            peer.routing_table = table
+
+    def _compute_neighborhoods(self) -> None:
+        """Peers closest to a measurement identity discover it quickly."""
+        server_peers = [p for p in self.peers if p.profile.is_dht_server]
+        for identity in self.identities:
+            if not identity.is_dht_server or not server_peers:
+                continue
+            target = key_for_peer(identity.peer_id)
+            closest = sorted(
+                server_peers,
+                key=lambda p: xor_distance(key_for_peer(p.current_pid), target),
+            )[: self.config.neighborhood_size]
+            identity.neighborhood = {p.current_pid for p in closest}
+
+    # --------------------------------------------------------------- sessions ----
+
+    def _schedule_initial_session(self, peer: SimPeer, duration: float) -> None:
+        profile = peer.profile
+        if profile.peer_class is PeerClass.ONE_TIME:
+            # One-time peers appear once, spread over the whole window: this is
+            # what makes the number of known PIDs grow continuously (Fig. 6).
+            delay = self.rng.uniform(0.0, duration * 0.95)
+            self.engine.schedule(delay, self._session_start, peer)
+            return
+        online, first_change = profile.session_model.initial_state(self.rng)
+        if online:
+            self._session_start_now(peer, self.engine.now, first_change)
+        else:
+            self.engine.schedule(first_change, self._session_start, peer)
+
+    def _session_start(self, peer: SimPeer) -> None:
+        profile = peer.profile
+        max_sessions = profile.session_model.max_sessions
+        if max_sessions is not None and peer.sessions_started >= max_sessions:
+            return
+        uptime = profile.session_model.next_uptime(self.rng)
+        self._session_start_now(peer, self.engine.now, uptime)
+
+    def _session_start_now(self, peer: SimPeer, now: float, uptime: float) -> None:
+        if peer.online:
+            return
+        profile = peer.profile
+        if peer.sessions_started > 0 and profile.rotates_pid:
+            old_pid = peer.current_pid
+            peer.rotate_pid()
+            self.peers_by_pid[peer.current_pid] = peer
+            # keep the old mapping: closed-connection bookkeeping may still look it up
+            self.peers_by_pid.setdefault(old_pid, peer)
+        peer.online = True
+        peer.sessions_started += 1
+        peer.last_online_at = now
+        self.engine.schedule(uptime, self._session_end, peer)
+        for identity in self.identities:
+            delay = self._contact_delay(peer, identity)
+            if delay is not None:
+                self.engine.schedule(delay, self._attempt_contact, peer, identity)
+
+    def _session_end(self, peer: SimPeer) -> None:
+        if not peer.online:
+            return
+        now = self.engine.now
+        peer.online = False
+        peer.last_online_at = now
+        for label, conn in list(peer.connections.items()):
+            identity = self._identity_by_label(label)
+            if identity is not None and conn.is_open:
+                identity.node.close_connection(conn, CloseReason.REMOTE_LEFT, now)
+            peer.connections.pop(label, None)
+        profile = peer.profile
+        max_sessions = profile.session_model.max_sessions
+        if max_sessions is not None and peer.sessions_started >= max_sessions:
+            return
+        downtime = profile.session_model.next_downtime(self.rng)
+        self.engine.schedule(downtime, self._session_start, peer)
+
+    # --------------------------------------------------------------- contacts ----
+
+    def _identity_by_label(self, label: str) -> Optional[MeasurementIdentity]:
+        for identity in self.identities:
+            if identity.label == label:
+                return identity
+        return None
+
+    def _contact_delay(self, peer: SimPeer, identity: MeasurementIdentity) -> Optional[float]:
+        """Time until ``peer`` contacts ``identity`` in this session (None: never)."""
+        profile = peer.profile
+        if profile.is_crawler:
+            # Crawlers probe every DHT-Server on their crawl schedule.
+            if not identity.is_dht_server:
+                return None
+            return self.rng.uniform(0.0, min(self.config.crawler_contact_interval, 2 * HOUR))
+        if identity.is_dht_server:
+            if peer.current_pid in identity.neighborhood:
+                return self.rng.uniform(30.0, self.config.neighborhood_delay_max)
+            return self.rng.expovariate(1.0 / profile.discovery_mean)
+        # DHT-Client measurement node: nobody actively seeks it.
+        if self.rng.random() > self.config.client_contact_probability:
+            return None
+        return self.rng.expovariate(
+            1.0 / (profile.discovery_mean * self.config.client_discovery_penalty)
+        )
+
+    def _attempt_contact(self, peer: SimPeer, identity: MeasurementIdentity) -> None:
+        now = self.engine.now
+        if not peer.online:
+            return
+        if identity.label in peer.connections and peer.connections[identity.label].is_open:
+            return
+        conn = identity.node.handle_inbound_connection(peer.current_pid, peer.dial_addr(), now)
+        peer.connections[identity.label] = conn
+        self.peers_by_pid[peer.current_pid] = peer
+        if peer.agent is not None and self.rng.random() < self.config.identify_success:
+            self.engine.schedule(
+                self.rng.uniform(0.5, 5.0), self._deliver_identify, peer, identity
+            )
+        self._plan_connection_end(peer, identity, conn)
+
+    def _deliver_identify(self, peer: SimPeer, identity: MeasurementIdentity) -> None:
+        conn = peer.connections.get(identity.label)
+        if conn is None or not conn.is_open:
+            return
+        identity.node.receive_identify(peer.current_pid, peer.identify_record(), self.engine.now)
+
+    def push_identify(self, peer: SimPeer) -> None:
+        """Push an updated identify record to every identity the peer is connected to."""
+        if peer.agent is None:
+            # Peers whose identify exchange never completes cannot push either.
+            return
+        for label, conn in peer.connections.items():
+            if not conn.is_open:
+                continue
+            identity = self._identity_by_label(label)
+            if identity is not None:
+                identity.node.receive_identify(
+                    peer.current_pid, peer.identify_record(), self.engine.now
+                )
+
+    def _plan_connection_end(
+        self, peer: SimPeer, identity: MeasurementIdentity, conn: Connection
+    ) -> None:
+        """Decide who will close this connection, and when."""
+        profile = peer.profile
+        if profile.is_crawler:
+            duration = self.rng.uniform(*self.config.crawler_probe_duration)
+            self.engine.schedule(
+                duration, self._remote_close, peer, identity, conn, CloseReason.PROTOCOL_DONE
+            )
+            return
+        keep_probability = profile.keep_probability
+        if not identity.is_dht_server:
+            keep_probability *= self.config.client_keep_factor
+        if self.rng.random() < keep_probability:
+            # The remote values the connection: it survives until the peer goes
+            # offline or our own connection manager trims it.
+            return
+        delay = self.config.remote_grace + self.rng.expovariate(1.0 / self.config.remote_trim_mean)
+        self.engine.schedule(
+            delay, self._remote_close, peer, identity, conn, CloseReason.REMOTE_TRIM
+        )
+
+    def _remote_close(
+        self,
+        peer: SimPeer,
+        identity: MeasurementIdentity,
+        conn: Connection,
+        reason: CloseReason,
+    ) -> None:
+        if not conn.is_open:
+            return
+        if peer.connections.get(identity.label) is not conn:
+            return
+        identity.node.close_connection(conn, reason, self.engine.now)
+        peer.connections.pop(identity.label, None)
+        self._maybe_reconnect(peer, identity, reason)
+
+    def _maybe_reconnect(
+        self, peer: SimPeer, identity: MeasurementIdentity, reason: CloseReason
+    ) -> None:
+        if not peer.online:
+            return
+        profile = peer.profile
+        if profile.is_crawler:
+            self.engine.schedule(
+                self.config.crawler_contact_interval, self._attempt_contact, peer, identity
+            )
+            return
+        if profile.peer_class is PeerClass.ONE_TIME:
+            if self.rng.random() > self.config.one_time_reconnect_probability:
+                return
+        delay = self.rng.expovariate(1.0 / profile.reconnect_mean)
+        self.engine.schedule(delay, self._attempt_contact, peer, identity)
+
+    # ----------------------------------------------------- identity maintenance ----
+
+    def _identity_tick(self, identity: MeasurementIdentity, now: float) -> None:
+        """Run the identity's connection-manager trim and handle the fallout."""
+        victims = identity.node.tick(now)
+        for conn in victims:
+            peer = self.peers_by_pid.get(conn.remote_peer)
+            if peer is None:
+                continue
+            if peer.connections.get(identity.label) is conn:
+                peer.connections.pop(identity.label, None)
+            self._maybe_reconnect(peer, identity, CloseReason.LOCAL_TRIM)
+
+    def _identity_outbound(self, identity: MeasurementIdentity, now: float) -> None:
+        """The measurement node's own modest outbound dialling (DHT queries,
+        Bitswap sessions, routing-table maintenance) toward online peers."""
+        dialable = [
+            p for p in self.peers
+            if p.online and identity.label not in p.connections
+        ]
+        if not dialable:
+            return
+        batch = min(self.config.outbound_dial_batch, len(dialable))
+        for peer in self.rng.sample(dialable, batch):
+            conn = identity.node.dial(peer.current_pid, peer.dial_addr(), now)
+            peer.connections[identity.label] = conn
+            self.peers_by_pid[peer.current_pid] = peer
+            if peer.agent is not None and self.rng.random() < self.config.identify_success:
+                self.engine.schedule(
+                    self.rng.uniform(0.5, 5.0), self._deliver_identify, peer, identity
+                )
+            # Outbound connections are valued even less by the remote side: we
+            # dialled them, they did not ask for us.
+            delay = self.config.remote_grace + self.rng.expovariate(
+                1.0 / self.config.remote_trim_mean
+            )
+            keep = peer.profile.keep_probability * 0.35
+            if not identity.is_dht_server:
+                keep *= self.config.client_keep_factor
+            if self.rng.random() < keep:
+                continue
+            self.engine.schedule(
+                delay, self._remote_close, peer, identity, conn, CloseReason.REMOTE_TRIM
+            )
+
+    # ------------------------------------------------------------- DHT queries ----
+
+    def dht_query(self, remote: PeerId, target: int, count: int) -> Optional[List[PeerId]]:
+        """FIND_NODE against a simulated peer (used by the crawler baseline)."""
+        peer = self.peers_by_pid.get(remote)
+        if peer is None or not peer.online or not peer.is_dht_server:
+            return None
+        if peer.routing_table is None:
+            return []
+        now = self.engine.now
+        entries = peer.routing_table.closest_peers(target, count * 2)
+        fresh: List[PeerId] = []
+        for pid in entries:
+            entry_peer = self.peers_by_pid.get(pid)
+            if entry_peer is None:
+                continue
+            # Stale entries (peer long offline) have been cleaned from real
+            # routing tables; the crawler then no longer sees those nodes.
+            if not entry_peer.online and now - entry_peer.last_online_at > self.config.routing_entry_expiry:
+                continue
+            fresh.append(pid)
+            if len(fresh) >= count:
+                break
+        return fresh
+
+    def bootstrap_peers(self, count: int = 4) -> List[PeerId]:
+        """Well-known entry points for crawls: long-lived online DHT-Servers."""
+        stable = [
+            p.current_pid
+            for p in self.peers
+            if p.profile.peer_class is PeerClass.HEAVY and p.profile.is_dht_server
+        ]
+        if not stable:
+            stable = [p.current_pid for p in self.peers if p.profile.is_dht_server]
+        return stable[:count]
+
+    # ------------------------------------------------------------------ stats ----
+
+    def online_count(self) -> int:
+        return sum(1 for p in self.peers if p.online)
+
+    def online_server_count(self) -> int:
+        return sum(1 for p in self.peers if p.online and p.is_dht_server)
+
+    def observed_pid_count(self) -> int:
+        return sum(len(p.all_pids) for p in self.peers)

@@ -1,0 +1,199 @@
+"""Scenario wiring: population + measurement nodes + crawler → datasets.
+
+A :class:`Scenario` corresponds to one of the paper's measurement periods: it
+deploys the configured passive vantage points (a go-ipfs node and/or a hydra
+with several heads), optionally runs the active crawler baseline on its 8 h
+cadence, lets the simulated network run for the configured duration, and
+returns the measurement datasets plus the ground truth for validation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.records import MeasurementDataset
+from repro.crawler.crawler import Crawler
+from repro.crawler.monitor import DEFAULT_CRAWL_INTERVAL, CrawlMonitor
+from repro.hydra.hydra import HydraNode
+from repro.ipfs.config import IpfsConfig
+from repro.ipfs.node import IpfsNode
+from repro.simulation.behaviors import BehaviorConfig, MetadataBehaviors
+from repro.simulation.churn_models import DAY
+from repro.simulation.engine import Engine, PeriodicTask
+from repro.simulation.network import (
+    MeasurementIdentity,
+    NetworkConfig,
+    SimulatedNetwork,
+)
+from repro.simulation.population import Population, PopulationConfig, generate_population
+
+#: dataset label of the go-ipfs vantage point
+GO_IPFS_LABEL = "go-ipfs"
+#: label prefix of hydra heads ("hydra-H0", "hydra-H1", ...)
+HYDRA_LABEL_PREFIX = "hydra-H"
+#: label of the union-of-heads dataset
+HYDRA_UNION_LABEL = "hydra"
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to run one measurement period."""
+
+    duration: float = 1 * DAY
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    behaviors: BehaviorConfig = field(default_factory=BehaviorConfig)
+    #: go-ipfs measurement node configuration; ``None`` deploys no go-ipfs node
+    go_ipfs: Optional[IpfsConfig] = field(default_factory=IpfsConfig.defaults)
+    #: number of hydra heads; 0 deploys no hydra
+    hydra_heads: int = 0
+    hydra_low_water: Optional[int] = None
+    hydra_high_water: Optional[int] = None
+    #: whether to run the active crawler baseline
+    run_crawler: bool = False
+    crawl_interval: float = DEFAULT_CRAWL_INTERVAL
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.go_ipfs is None and self.hydra_heads <= 0:
+            raise ValueError("a scenario needs at least one measurement vantage point")
+
+
+@dataclass
+class ScenarioResult:
+    """Datasets and ground truth produced by one scenario run."""
+
+    config: ScenarioConfig
+    datasets: Dict[str, MeasurementDataset]
+    crawls: CrawlMonitor
+    population: Population
+    events_processed: int
+    version_changes: int = 0
+    role_flips: int = 0
+    autonat_flips: int = 0
+
+    def dataset(self, label: str) -> MeasurementDataset:
+        return self.datasets[label]
+
+    def go_ipfs(self) -> Optional[MeasurementDataset]:
+        return self.datasets.get(GO_IPFS_LABEL)
+
+    def hydra_heads(self) -> List[MeasurementDataset]:
+        return [
+            self.datasets[label]
+            for label in sorted(self.datasets)
+            if label.startswith(HYDRA_LABEL_PREFIX)
+        ]
+
+    def hydra_union(self) -> Optional[MeasurementDataset]:
+        return self.datasets.get(HYDRA_UNION_LABEL)
+
+
+class Scenario:
+    """Builds and runs one simulated measurement period."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.rng = random.Random(config.seed)
+        self.population = generate_population(config.population, random.Random(config.seed + 10))
+        self.network = SimulatedNetwork(
+            self.engine, self.population, random.Random(config.seed + 20), config.network
+        )
+        self.behaviors = MetadataBehaviors(
+            self.engine, self.network, random.Random(config.seed + 30), config.behaviors
+        )
+        self.identities: List[MeasurementIdentity] = []
+        self.go_ipfs_node: Optional[IpfsNode] = None
+        self.hydra: Optional[HydraNode] = None
+        self.crawler: Optional[Crawler] = None
+        self.crawls = CrawlMonitor()
+        self._build_identities()
+
+    # -- construction ----------------------------------------------------------------
+
+    def _build_identities(self) -> None:
+        config = self.config
+        if config.go_ipfs is not None:
+            self.go_ipfs_node = IpfsNode(config=config.go_ipfs, rng=random.Random(config.seed + 40))
+            identity = MeasurementIdentity(
+                GO_IPFS_LABEL,
+                self.go_ipfs_node,
+                poll_interval=config.go_ipfs.poll_interval,
+                is_dht_server=self.go_ipfs_node.is_dht_server,
+            )
+            self.identities.append(identity)
+            self.network.add_measurement_identity(identity)
+        if config.hydra_heads > 0:
+            self.hydra = HydraNode(
+                config.hydra_heads,
+                rng=random.Random(config.seed + 50),
+                low_water=config.hydra_low_water,
+                high_water=config.hydra_high_water,
+            )
+            for head in self.hydra.heads:
+                identity = MeasurementIdentity(
+                    f"{HYDRA_LABEL_PREFIX}{head.head_index}",
+                    head,
+                    poll_interval=60.0,
+                    is_dht_server=True,
+                )
+                self.identities.append(identity)
+                self.network.add_measurement_identity(identity)
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(self) -> ScenarioResult:
+        config = self.config
+        self.network.start(config.duration)
+        self.behaviors.schedule_all(config.duration)
+
+        if config.run_crawler:
+            self.crawler = Crawler(
+                query=self.network.dht_query,
+                bootstrap_peers=self.network.bootstrap_peers(),
+                rng=random.Random(config.seed + 60),
+            )
+            PeriodicTask(
+                self.engine,
+                config.crawl_interval,
+                self._run_crawl,
+                start_delay=min(1800.0, config.crawl_interval),
+            )
+
+        self.engine.run_until(config.duration)
+
+        datasets: Dict[str, MeasurementDataset] = {}
+        for identity in self.identities:
+            datasets[identity.label] = identity.measurement.finalize(config.duration)
+        head_datasets = [
+            datasets[label] for label in sorted(datasets) if label.startswith(HYDRA_LABEL_PREFIX)
+        ]
+        if head_datasets:
+            datasets[HYDRA_UNION_LABEL] = MeasurementDataset.union(
+                head_datasets, HYDRA_UNION_LABEL
+            )
+
+        return ScenarioResult(
+            config=config,
+            datasets=datasets,
+            crawls=self.crawls,
+            population=self.population,
+            events_processed=self.engine.events_processed,
+            version_changes=self.behaviors.version_changes_applied,
+            role_flips=self.behaviors.role_flips_applied,
+            autonat_flips=self.behaviors.autonat_flips_applied,
+        )
+
+    def _run_crawl(self, now: float) -> None:
+        assert self.crawler is not None
+        self.crawls.add(self.crawler.crawl(now))
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Convenience wrapper: build and run a scenario in one call."""
+    return Scenario(config).run()

@@ -1,0 +1,76 @@
+"""Tests for the empirical CDF helpers."""
+
+import pytest
+
+from repro.analysis.cdf import EmpiricalCDF, binned_cdf, log_spaced_grid
+
+
+class TestEmpiricalCDF:
+    def test_fractions(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_at(0.5) == 0.0
+        assert cdf.fraction_at(2.0) == 0.5
+        assert cdf.fraction_at(10.0) == 1.0
+        assert cdf.fraction_above(2.0) == 0.5
+
+    def test_empty_cdf(self):
+        cdf = EmpiricalCDF([])
+        assert cdf.fraction_at(5.0) == 0.0
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+
+    def test_quantile(self):
+        cdf = EmpiricalCDF(range(1, 101))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(1.0) == 100
+        assert cdf.quantile(0.0) == 1
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1.0]).quantile(1.5)
+
+    def test_points_are_monotone_steps(self):
+        cdf = EmpiricalCDF([1.0, 1.0, 2.0, 5.0])
+        points = cdf.points()
+        xs = [x for x, _ in points]
+        ys = [y for _, y in points]
+        assert xs == sorted(set(xs))
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_sampled_on_grid(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0])
+        sampled = cdf.sampled([0.0, 1.5, 3.0])
+        assert sampled == [(0.0, 0.0), (1.5, pytest.approx(1 / 3)), (3.0, 1.0)]
+
+    def test_len(self):
+        assert len(EmpiricalCDF([1, 2, 3])) == 3
+
+
+class TestBinnedCDF:
+    def test_bins_cover_range(self):
+        result = binned_cdf([10.0, 35.0, 65.0], bin_width=30.0)
+        assert result[30.0] == pytest.approx(1 / 3)
+        assert result[60.0] == pytest.approx(2 / 3)
+        assert result[90.0] == pytest.approx(1.0)
+
+    def test_empty_values(self):
+        assert binned_cdf([], 30.0) == {}
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            binned_cdf([1.0], 0.0)
+
+
+class TestLogGrid:
+    def test_grid_is_monotone_and_bounded(self):
+        grid = log_spaced_grid(1.0, 100_000.0, points_per_decade=5)
+        assert grid == sorted(grid)
+        assert grid[0] >= 1.0
+        assert grid[-1] == pytest.approx(100_000.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            log_spaced_grid(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_spaced_grid(10.0, 1.0)

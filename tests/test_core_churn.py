@@ -1,0 +1,93 @@
+"""Tests for the connection churn statistics (Table II)."""
+
+import pytest
+
+from repro.core.churn import churn_reports, connection_statistics, trim_share
+from repro.core.records import ConnectionRecord, MeasurementDataset
+
+HOUR = 3_600.0
+
+
+class TestConnectionStatistics:
+    def test_all_and_peer_statistics_hand_checked(self, tiny_dataset):
+        report = connection_statistics(tiny_dataset)
+        assert report.all_stats.count == 8
+        assert report.peer_stats.count == 5
+
+        durations = [c.duration for c in tiny_dataset.connections]
+        assert report.all_stats.average == pytest.approx(sum(durations) / len(durations))
+
+        # per-peer averages: heavy 30 h, normal 3 h, light 600 s, once1 300 s, once2 60 s
+        expected_peer_averages = [30 * HOUR, 3 * HOUR, 600.0, 300.0, 60.0]
+        assert report.peer_stats.average == pytest.approx(
+            sum(expected_peer_averages) / len(expected_peer_averages)
+        )
+        assert report.peer_stats.median_value == pytest.approx(600.0)
+
+    def test_direction_split(self, tiny_dataset):
+        report = connection_statistics(tiny_dataset)
+        assert report.inbound.count == 7
+        assert report.outbound.count == 1
+        assert report.inbound_outbound_count_ratio == pytest.approx(7.0)
+
+    def test_close_reason_histogram(self, tiny_dataset):
+        report = connection_statistics(tiny_dataset)
+        assert report.close_reasons["remote-trim"] == 7
+        assert report.close_reasons["still-open"] == 1
+
+    def test_trim_share(self, tiny_dataset):
+        report = connection_statistics(tiny_dataset)
+        assert trim_share(report) == pytest.approx(7 / 8)
+
+    def test_empty_dataset(self):
+        dataset = MeasurementDataset(label="empty", started_at=0.0, ended_at=1.0)
+        report = connection_statistics(dataset)
+        assert report.all_stats.count == 0
+        assert report.peer_stats.count == 0
+        assert report.all_stats.average == 0.0
+        assert trim_share(report) == 0.0
+
+    def test_peer_average_weights_every_peer_once(self):
+        # One peer with many short connections must not dominate the peer stats.
+        dataset = MeasurementDataset(label="x", started_at=0.0, ended_at=1000.0)
+        for i in range(100):
+            dataset.connections.append(
+                ConnectionRecord("busy", "inbound", float(i), float(i) + 1.0)
+            )
+        dataset.connections.append(ConnectionRecord("calm", "inbound", 0.0, 999.0))
+        report = connection_statistics(dataset)
+        assert report.all_stats.count == 101
+        assert report.peer_stats.count == 2
+        assert report.peer_stats.average == pytest.approx((1.0 + 999.0) / 2.0)
+
+    def test_rows_shape(self, tiny_dataset):
+        rows = connection_statistics(tiny_dataset).rows()
+        assert [r[0] for r in rows] == ["all", "peer"]
+
+    def test_churn_reports_over_multiple_datasets(self, tiny_dataset):
+        reports = churn_reports({"a": tiny_dataset, "b": tiny_dataset})
+        assert set(reports) == {"a", "b"}
+        assert reports["a"].all_stats.count == reports["b"].all_stats.count
+
+
+class TestScenarioChurnShape:
+    """Shape checks on a real (small) simulated period, mirroring the paper."""
+
+    def test_all_average_below_peer_average(self, small_scenario_result):
+        report = connection_statistics(small_scenario_result.dataset("go-ipfs"))
+        # crawlers/one-timers pull the per-connection average down; per-peer
+        # averaging restores the weight of stable peers (paper Section IV.A)
+        assert report.all_stats.count > 0
+        assert report.all_stats.average < report.peer_stats.average
+
+    def test_median_well_below_average(self, small_scenario_result):
+        report = connection_statistics(small_scenario_result.dataset("go-ipfs"))
+        assert report.all_stats.median_value < report.all_stats.average
+
+    def test_inbound_dominates_outbound(self, small_scenario_result):
+        report = connection_statistics(small_scenario_result.dataset("go-ipfs"))
+        assert report.inbound.count > report.outbound.count
+
+    def test_inbound_connections_last_longer(self, small_scenario_result):
+        report = connection_statistics(small_scenario_result.dataset("go-ipfs"))
+        assert report.inbound.average > report.outbound.average

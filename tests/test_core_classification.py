@@ -1,0 +1,64 @@
+"""Tests for the heavy/normal/light/one-time classification."""
+
+import pytest
+
+from repro.core.classification import (
+    ClassificationThresholds,
+    PeerClassLabel,
+    classify_peer,
+)
+
+HOUR = 3_600.0
+
+
+class TestThresholds:
+    def test_defaults_match_table_iv(self):
+        thresholds = ClassificationThresholds()
+        assert thresholds.heavy_duration == 24 * HOUR
+        assert thresholds.normal_duration == 2 * HOUR
+        assert thresholds.light_min_connections == 3
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            ClassificationThresholds(heavy_duration=HOUR, normal_duration=2 * HOUR)
+
+    def test_min_connections_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ClassificationThresholds(light_min_connections=0)
+
+
+class TestClassification:
+    def test_heavy(self):
+        assert classify_peer(25 * HOUR, 1) is PeerClassLabel.HEAVY
+
+    def test_normal(self):
+        assert classify_peer(3 * HOUR, 1) is PeerClassLabel.NORMAL
+        assert classify_peer(23 * HOUR, 50) is PeerClassLabel.NORMAL
+
+    def test_light_needs_enough_connections(self):
+        assert classify_peer(10 * 60.0, 3) is PeerClassLabel.LIGHT
+        assert classify_peer(10 * 60.0, 30) is PeerClassLabel.LIGHT
+
+    def test_one_time(self):
+        assert classify_peer(10 * 60.0, 1) is PeerClassLabel.ONE_TIME
+        assert classify_peer(10 * 60.0, 2) is PeerClassLabel.ONE_TIME
+
+    def test_boundaries(self):
+        thresholds = ClassificationThresholds()
+        # exactly 24 h is "not more than a day" -> normal, matching "> 24 h" for heavy
+        assert classify_peer(24 * HOUR, 1, thresholds) is PeerClassLabel.NORMAL
+        # exactly 2 h is "<= 2 h" -> light/one-time depending on connection count
+        assert classify_peer(2 * HOUR, 3, thresholds) is PeerClassLabel.LIGHT
+        assert classify_peer(2 * HOUR, 2, thresholds) is PeerClassLabel.ONE_TIME
+
+    def test_custom_thresholds(self):
+        thresholds = ClassificationThresholds(
+            heavy_duration=10 * HOUR, normal_duration=1 * HOUR, light_min_connections=5
+        )
+        assert classify_peer(11 * HOUR, 1, thresholds) is PeerClassLabel.HEAVY
+        assert classify_peer(5 * HOUR, 1, thresholds) is PeerClassLabel.NORMAL
+        assert classify_peer(0.5 * HOUR, 5, thresholds) is PeerClassLabel.LIGHT
+        assert classify_peer(0.5 * HOUR, 4, thresholds) is PeerClassLabel.ONE_TIME
+
+    def test_zero_duration_peer_is_one_time(self):
+        assert classify_peer(0.0, 1) is PeerClassLabel.ONE_TIME

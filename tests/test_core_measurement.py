@@ -1,0 +1,105 @@
+"""Tests for the passive measurement recorder."""
+
+import random
+
+from repro.core.measurement import PassiveMeasurement
+from repro.ipfs.config import IpfsConfig
+from repro.ipfs.node import IpfsNode
+from repro.libp2p.connection import CloseReason
+from repro.libp2p.identify import IdentifyRecord
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.peer_id import PeerId
+from repro.libp2p.protocols import IPFS_ID, KAD_DHT
+
+
+def make_node(low=50, high=80):
+    return IpfsNode(IpfsConfig(low_water=low, high_water=high, grace_period=0.0),
+                    rng=random.Random(0))
+
+
+class TestPassiveMeasurement:
+    def test_connection_events_recorded(self, rng):
+        node = make_node()
+        measurement = PassiveMeasurement(node, label="go-ipfs")
+        remote = PeerId.random(rng)
+        conn = node.handle_inbound_connection(remote, Multiaddr.tcp("8.8.4.4"), 10.0)
+        node.close_connection(conn, CloseReason.REMOTE_TRIM, 70.0)
+        dataset = measurement.finalize(100.0)
+        assert dataset.connection_count() == 1
+        record = dataset.connections[0]
+        assert record.peer == str(remote)
+        assert record.duration == 60.0
+        assert record.close_reason == "remote-trim"
+        assert record.remote_ip == "8.8.4.4"
+
+    def test_still_open_connections_closed_at_measurement_end(self, rng):
+        node = make_node()
+        measurement = PassiveMeasurement(node, label="go-ipfs")
+        node.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("1.1.1.1"), 20.0)
+        dataset = measurement.finalize(100.0)
+        assert dataset.connection_count() == 1
+        assert dataset.connections[0].closed_at == 100.0
+        assert dataset.connections[0].close_reason == "still-open"
+
+    def test_poll_snapshots_connection_and_pid_counts(self, rng):
+        node = make_node()
+        measurement = PassiveMeasurement(node, label="go-ipfs")
+        for i in range(3):
+            node.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("1.1.1.1"), float(i))
+        snapshot = measurement.poll(30.0)
+        assert snapshot.simultaneous_connections == 3
+        assert snapshot.known_pids == 3
+        assert snapshot.connected_pids == 3
+        dataset = measurement.finalize(60.0)
+        assert len(dataset.snapshots) == 1
+
+    def test_identify_metadata_lands_in_peer_records(self, rng):
+        node = make_node()
+        measurement = PassiveMeasurement(node, label="go-ipfs")
+        remote = PeerId.random(rng)
+        node.handle_inbound_connection(remote, Multiaddr.tcp("2.2.2.2"), 0.0)
+        node.receive_identify(
+            remote,
+            IdentifyRecord.make("go-ipfs/0.11.0/abc", {IPFS_ID, KAD_DHT},
+                                [Multiaddr.tcp("2.2.2.2")]),
+            1.0,
+        )
+        dataset = measurement.finalize(50.0)
+        record = dataset.peers[str(remote)]
+        assert record.agent_version == "go-ipfs/0.11.0/abc"
+        assert record.is_dht_server()
+        assert record.observed_ip == "2.2.2.2"
+        assert dataset.changes_of_kind("agent")
+
+    def test_ever_dht_server_survives_demotion(self, rng):
+        node = make_node()
+        measurement = PassiveMeasurement(node, label="go-ipfs")
+        remote = PeerId.random(rng)
+        node.handle_inbound_connection(remote, Multiaddr.tcp("2.2.2.2"), 0.0)
+        node.receive_identify(remote, IdentifyRecord.make("x", {IPFS_ID, KAD_DHT}), 1.0)
+        measurement.poll(2.0)
+        node.receive_identify(remote, IdentifyRecord.make("x", {IPFS_ID}), 3.0)
+        dataset = measurement.finalize(10.0)
+        record = dataset.peers[str(remote)]
+        assert KAD_DHT not in record.protocols
+        assert record.ever_dht_server
+        assert record.is_dht_server()
+
+    def test_dataset_window(self, rng):
+        node = make_node()
+        measurement = PassiveMeasurement(node, label="go-ipfs", measurement_role="client")
+        node.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("3.3.3.3"), 12.0)
+        dataset = measurement.finalize(99.0)
+        assert dataset.started_at == 12.0
+        assert dataset.ended_at == 99.0
+        assert dataset.measurement_role == "client"
+
+    def test_local_trim_recorded_with_reason(self, rng):
+        node = make_node(low=2, high=3)
+        measurement = PassiveMeasurement(node, label="go-ipfs")
+        for _ in range(6):
+            node.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("4.4.4.4"), 0.0)
+        node.tick(now=200.0)
+        dataset = measurement.finalize(300.0)
+        reasons = {c.close_reason for c in dataset.connections}
+        assert "local-trim" in reasons

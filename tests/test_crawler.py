@@ -1,0 +1,96 @@
+"""Tests for the active crawler baseline."""
+
+import random
+from typing import Dict, List, Optional
+
+from repro.crawler.crawler import Crawler
+from repro.crawler.monitor import CrawlMonitor
+from repro.kademlia.routing_table import RoutingTable
+from repro.libp2p.peer_id import PeerId
+
+
+class StaticDHT:
+    """A static DHT of servers (and some clients invisible to routing tables)."""
+
+    def __init__(self, n_servers=30, n_offline=5, seed=0):
+        rng = random.Random(seed)
+        self.servers: List[PeerId] = [PeerId.random(rng) for _ in range(n_servers)]
+        self.offline = set(self.servers[:n_offline])
+        self.clients: List[PeerId] = [PeerId.random(rng) for _ in range(10)]
+        self.tables: Dict[PeerId, RoutingTable] = {}
+        for peer in self.servers:
+            table = RoutingTable(peer)
+            table.add_peers(p for p in self.servers if p != peer)
+            self.tables[peer] = table
+
+    def query(self, remote: PeerId, target: int, count: int) -> Optional[List[PeerId]]:
+        if remote in self.offline or remote not in self.tables:
+            return None
+        return self.tables[remote].closest_peers(target, count)
+
+
+class TestCrawler:
+    def test_crawl_discovers_all_servers(self):
+        dht = StaticDHT(n_servers=25, n_offline=0)
+        crawler = Crawler(dht.query, bootstrap_peers=dht.servers[:2], rng=random.Random(1))
+        snapshot = crawler.crawl(now=0.0)
+        assert snapshot.discovered >= set(dht.servers)
+        assert snapshot.reachable == set(dht.servers)
+
+    def test_crawl_never_sees_dht_clients(self):
+        # The structural blind spot of active crawling (Fig. 1 / Fig. 2).
+        dht = StaticDHT(n_servers=20, n_offline=0)
+        crawler = Crawler(dht.query, bootstrap_peers=dht.servers[:2], rng=random.Random(2))
+        snapshot = crawler.crawl(now=0.0)
+        assert snapshot.discovered.isdisjoint(set(dht.clients))
+
+    def test_offline_servers_are_discovered_but_not_reachable(self):
+        dht = StaticDHT(n_servers=20, n_offline=4)
+        crawler = Crawler(dht.query, bootstrap_peers=dht.servers[10:12], rng=random.Random(3))
+        snapshot = crawler.crawl(now=0.0)
+        assert snapshot.reachable.isdisjoint(dht.offline)
+        assert dht.offline <= snapshot.discovered
+
+    def test_crawl_counts_queries(self):
+        dht = StaticDHT(n_servers=10, n_offline=0)
+        crawler = Crawler(dht.query, bootstrap_peers=dht.servers[:1], buckets_per_peer=4,
+                          rng=random.Random(4))
+        snapshot = crawler.crawl(now=0.0)
+        assert snapshot.queries_sent > 0
+
+    def test_crawl_duration_reflected_in_snapshot(self):
+        dht = StaticDHT(n_servers=5, n_offline=0)
+        crawler = Crawler(dht.query, bootstrap_peers=dht.servers[:1], crawl_duration=120.0,
+                          rng=random.Random(5))
+        snapshot = crawler.crawl(now=50.0)
+        assert snapshot.started_at == 50.0
+        assert snapshot.duration() == 120.0
+
+
+class TestCrawlMonitor:
+    def test_range_over_snapshots(self):
+        dht = StaticDHT(n_servers=20, n_offline=0)
+        crawler = Crawler(dht.query, bootstrap_peers=dht.servers[:2], rng=random.Random(6))
+        monitor = CrawlMonitor()
+        monitor.add(crawler.crawl(0.0))
+        dht.offline = set(dht.servers[:5])
+        monitor.add(crawler.crawl(8 * 3600.0))
+        crawl_range = monitor.range()
+        assert crawl_range.crawls == 2
+        assert crawl_range.min_reachable <= crawl_range.max_reachable
+        assert crawl_range.union_discovered >= crawl_range.max_discovered
+
+    def test_range_with_time_filter(self):
+        monitor = CrawlMonitor()
+        dht = StaticDHT(n_servers=8, n_offline=0)
+        crawler = Crawler(dht.query, bootstrap_peers=dht.servers[:1], rng=random.Random(7))
+        monitor.add(crawler.crawl(0.0))
+        monitor.add(crawler.crawl(100.0))
+        assert monitor.range(since=50.0).crawls == 1
+        assert monitor.range(until=50.0).crawls == 1
+        assert monitor.range(since=200.0).crawls == 0
+
+    def test_empty_monitor_range_is_zero(self):
+        crawl_range = CrawlMonitor().range()
+        assert crawl_range.crawls == 0
+        assert crawl_range.max_discovered == 0

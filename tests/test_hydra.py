@@ -1,0 +1,102 @@
+"""Tests for the hydra-booster model."""
+
+import random
+
+import pytest
+
+from repro.hydra.head import HYDRA_AGENT_VERSION, HydraHead
+from repro.hydra.hydra import Belly, HydraNode
+from repro.libp2p.connection import CloseReason
+from repro.libp2p.identify import IdentifyRecord
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.peer_id import PeerId
+from repro.libp2p.protocols import IPFS_ID, KAD_DHT
+
+
+class TestHydraHead:
+    def test_head_is_dht_server_with_hydra_agent(self):
+        head = HydraHead(0, rng=random.Random(1))
+        record = head.own_identify_record()
+        assert record.agent_version == HYDRA_AGENT_VERSION
+        assert record.is_dht_server()
+        assert not record.has_bitswap()
+
+    def test_heads_have_distinct_identities_and_ports(self):
+        rng = random.Random(2)
+        heads = [HydraHead(i, rng=rng) for i in range(3)]
+        assert len({h.peer_id for h in heads}) == 3
+        assert [h.port for h in heads] == [3001, 3002, 3003]
+
+    def test_head_connection_lifecycle(self, rng):
+        head = HydraHead(0, rng=random.Random(3), low_water=2, high_water=3)
+        remote = PeerId.random(rng)
+        conn = head.handle_inbound_connection(remote, Multiaddr.tcp("5.5.5.5"), 0.0)
+        assert head.connection_count() == 1
+        head.close_connection(conn, CloseReason.REMOTE_LEFT, 1.0)
+        assert head.connection_count() == 0
+        assert not head.peerstore.get(remote).connected
+
+    def test_head_identify_updates_routing_table(self, rng):
+        head = HydraHead(0, rng=random.Random(4))
+        remote = PeerId.random(rng)
+        head.handle_inbound_connection(remote, Multiaddr.tcp("5.5.5.5"), 0.0)
+        head.receive_identify(remote, IdentifyRecord.make("go-ipfs/0.11.0", {IPFS_ID, KAD_DHT}), 1.0)
+        assert remote in head.dht.routing_table
+
+    def test_head_trim_with_small_watermarks(self, rng):
+        head = HydraHead(0, rng=random.Random(5), low_water=2, high_water=3)
+        head.swarm.connmgr.config = head.swarm.connmgr.config.__class__(
+            low_water=2, high_water=3, grace_period=0.0, silence_period=0.0
+        )
+        for _ in range(6):
+            head.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("5.5.5.5"), 0.0)
+        assert len(head.tick(now=100.0)) == 4
+
+
+class TestHydraNode:
+    def test_requires_at_least_one_head(self):
+        with pytest.raises(ValueError):
+            HydraNode(0)
+
+    def test_union_of_heads(self, rng):
+        hydra = HydraNode(2, rng=random.Random(6))
+        a, b = PeerId.random(rng), PeerId.random(rng)
+        hydra.head(0).handle_inbound_connection(a, Multiaddr.tcp("1.1.1.1"), 0.0)
+        hydra.head(1).handle_inbound_connection(b, Multiaddr.tcp("2.2.2.2"), 0.0)
+        hydra.head(1).handle_inbound_connection(a, Multiaddr.tcp("1.1.1.1"), 0.0)
+        assert hydra.union_known_peers() == {a, b}
+        assert hydra.total_connections() == 3
+
+    def test_union_dht_servers(self, rng):
+        hydra = HydraNode(2, rng=random.Random(7))
+        server = PeerId.random(rng)
+        hydra.head(0).receive_identify(
+            server, IdentifyRecord.make("go-ipfs/0.11.0", {IPFS_ID, KAD_DHT}), 0.0
+        )
+        assert hydra.union_dht_servers() == {server}
+
+    def test_shared_belly(self, rng):
+        hydra = HydraNode(3, rng=random.Random(8))
+        provider = PeerId.random(rng)
+        hydra.store_provider_record("some-cid", provider)
+        assert hydra.belly.providers_for("some-cid") == {provider}
+        assert hydra.belly.record_count() == 1
+
+    def test_belly_ipns(self):
+        belly = Belly()
+        belly.put_ipns("name", b"record")
+        assert belly.get_ipns("name") == b"record"
+        assert belly.get_ipns("missing") is None
+
+    def test_shutdown_closes_all_heads(self, rng):
+        hydra = HydraNode(2, rng=random.Random(9))
+        for head in hydra.heads:
+            head.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("3.3.3.3"), 0.0)
+        hydra.shutdown(now=10.0)
+        assert hydra.total_connections() == 0
+
+    def test_custom_watermarks_propagate(self):
+        hydra = HydraNode(2, rng=random.Random(10), low_water=7, high_water=9)
+        for head in hydra.heads:
+            assert head.swarm.connmgr.config.low_water == 7
+            assert head.swarm.connmgr.config.high_water == 9

@@ -1,0 +1,113 @@
+"""Tests for the go-ipfs node composition."""
+
+import random
+
+from repro.ipfs.config import IpfsConfig
+from repro.ipfs.node import IpfsNode
+from repro.kademlia.dht import DHTMode
+from repro.libp2p.connection import CloseReason
+from repro.libp2p.identify import IdentifyRecord
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.peer_id import PeerId
+from repro.libp2p.protocols import IPFS_ID, KAD_DHT
+
+
+def make_node(low=5, high=8, mode=DHTMode.SERVER):
+    config = IpfsConfig(low_water=low, high_water=high, grace_period=0.0, dht_mode=mode)
+    return IpfsNode(config=config, rng=random.Random(1))
+
+
+def identify(server=True, agent="go-ipfs/0.11.0/abc"):
+    protocols = {IPFS_ID}
+    if server:
+        protocols.add(KAD_DHT)
+    return IdentifyRecord.make(agent, protocols)
+
+
+class TestIpfsNode:
+    def test_identity_is_stable(self):
+        node = make_node()
+        assert node.peer_id == PeerId.from_keypair(node.keypair)
+
+    def test_own_identify_record_reflects_mode(self):
+        server = make_node(mode=DHTMode.SERVER)
+        client = make_node(mode=DHTMode.CLIENT)
+        assert server.own_identify_record().is_dht_server()
+        assert not client.own_identify_record().is_dht_server()
+        assert server.own_identify_record().has_bitswap()
+
+    def test_inbound_connection_updates_peerstore(self, rng):
+        node = make_node()
+        remote = PeerId.random(rng)
+        node.handle_inbound_connection(remote, Multiaddr.tcp("3.3.3.3"), now=10.0)
+        assert node.connection_count() == 1
+        entry = node.peerstore.get(remote)
+        assert entry.connected
+        assert entry.observed_addr.ip() == "3.3.3.3"
+
+    def test_close_connection_clears_connected_flag(self, rng):
+        node = make_node()
+        remote = PeerId.random(rng)
+        conn = node.handle_inbound_connection(remote, Multiaddr.tcp("3.3.3.3"), 0.0)
+        node.close_connection(conn, CloseReason.REMOTE_LEFT, 5.0)
+        assert not node.peerstore.get(remote).connected
+        assert node.connection_count() == 0
+
+    def test_identify_of_server_enters_routing_table_and_tags(self, rng):
+        node = make_node()
+        remote = PeerId.random(rng)
+        node.handle_inbound_connection(remote, Multiaddr.tcp("2.2.2.2"), 0.0)
+        node.receive_identify(remote, identify(server=True), 1.0)
+        assert remote in node.dht.routing_table
+        assert node.swarm.connmgr.peer_score(remote) > 0
+
+    def test_identify_role_flip_removes_from_routing_table(self, rng):
+        node = make_node()
+        remote = PeerId.random(rng)
+        node.handle_inbound_connection(remote, Multiaddr.tcp("2.2.2.2"), 0.0)
+        node.receive_identify(remote, identify(server=True), 1.0)
+        node.receive_identify(remote, identify(server=False), 2.0)
+        assert remote not in node.dht.routing_table
+        assert node.swarm.connmgr.peer_score(remote) == 0
+
+    def test_tick_trims_above_high_water(self, rng):
+        node = make_node(low=3, high=5)
+        for _ in range(8):
+            node.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("1.1.1.1"), 0.0)
+        victims = node.tick(now=120.0)
+        assert len(victims) == 5
+        assert node.connection_count() == 3
+
+    def test_shutdown_closes_everything(self, rng):
+        node = make_node(low=50, high=80)
+        for _ in range(5):
+            node.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("1.1.1.1"), 0.0)
+        closed = node.shutdown(now=60.0)
+        assert len(closed) == 5
+        assert node.connection_count() == 0
+
+    def test_bootstrap_protects_bootstrap_peers(self, rng):
+        node = make_node(low=0, high=1)
+        bootstrap = [PeerId.random(rng) for _ in range(2)]
+
+        def query(remote, target, count):
+            return []
+
+        node.bootstrap(bootstrap, query)
+        for peer in bootstrap:
+            assert node.swarm.connmgr.tag_info(peer).is_protected
+
+    def test_handle_find_node_respects_mode(self, rng):
+        server = make_node(mode=DHTMode.SERVER)
+        client = make_node(mode=DHTMode.CLIENT)
+        assert server.handle_find_node(0) == []
+        assert client.handle_find_node(0) is None
+
+    def test_known_peer_count_accumulates(self, rng):
+        node = make_node(low=1, high=2)
+        for i in range(6):
+            conn = node.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("1.1.1.1"), float(i))
+            node.close_connection(conn, CloseReason.REMOTE_LEFT, float(i) + 0.5)
+        # the peerstore remembers peers even after they disconnect
+        assert node.known_peer_count() == 6
+        assert node.connection_count() == 0

@@ -1,0 +1,100 @@
+"""Tests for the peerstore and its change log."""
+
+import random
+
+from repro.ipfs.peerstore import ChangeKind, Peerstore
+from repro.libp2p.identify import IdentifyRecord
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.peer_id import PeerId
+from repro.libp2p.protocols import IPFS_ID, KAD_DHT
+
+
+def make_identify(agent="go-ipfs/0.11.0/abc", server=True):
+    protocols = {IPFS_ID}
+    if server:
+        protocols.add(KAD_DHT)
+    return IdentifyRecord.make(agent, protocols, [Multiaddr.tcp("4.4.4.4")])
+
+
+class TestPeerstore:
+    def test_touch_creates_entry_and_first_seen_change(self, rng):
+        store = Peerstore()
+        pid = PeerId.random(rng)
+        store.touch(pid, 100.0)
+        entry = store.get(pid)
+        assert entry is not None
+        assert entry.first_seen == 100.0
+        assert [c.kind for c in store.changes_for(pid)] == [ChangeKind.FIRST_SEEN]
+
+    def test_touch_updates_last_seen_only_forward(self, rng):
+        store = Peerstore()
+        pid = PeerId.random(rng)
+        store.touch(pid, 100.0)
+        store.touch(pid, 50.0)
+        assert store.get(pid).last_seen == 100.0
+        store.touch(pid, 200.0)
+        assert store.get(pid).last_seen == 200.0
+        assert store.get(pid).first_seen == 100.0
+
+    def test_entries_never_evicted(self, rng):
+        # The historic-peerstore property the paper relies on.
+        store = Peerstore()
+        pids = [PeerId.random(rng) for _ in range(50)]
+        for i, pid in enumerate(pids):
+            store.set_connected(pid, True, float(i))
+            store.set_connected(pid, False, float(i) + 1)
+        assert len(store) == 50
+
+    def test_record_identify_emits_changes(self, rng):
+        store = Peerstore()
+        pid = PeerId.random(rng)
+        changes = store.record_identify(pid, make_identify(), 10.0)
+        kinds = {c.kind for c in changes}
+        assert ChangeKind.AGENT in kinds
+        assert ChangeKind.PROTOCOLS in kinds
+        assert ChangeKind.ADDRS in kinds
+
+    def test_identical_identify_emits_no_changes(self, rng):
+        store = Peerstore()
+        pid = PeerId.random(rng)
+        store.record_identify(pid, make_identify(), 10.0)
+        assert store.record_identify(pid, make_identify(), 20.0) == []
+
+    def test_agent_change_recorded_with_old_and_new(self, rng):
+        store = Peerstore()
+        pid = PeerId.random(rng)
+        store.record_identify(pid, make_identify("go-ipfs/0.10.0/x"), 10.0)
+        changes = store.record_identify(pid, make_identify("go-ipfs/0.11.0/y"), 20.0)
+        agent_changes = [c for c in changes if c.kind is ChangeKind.AGENT]
+        assert len(agent_changes) == 1
+        assert agent_changes[0].old_value == "go-ipfs/0.10.0/x"
+        assert agent_changes[0].new_value == "go-ipfs/0.11.0/y"
+
+    def test_protocol_change_tracks_role_flip(self, rng):
+        store = Peerstore()
+        pid = PeerId.random(rng)
+        store.record_identify(pid, make_identify(server=True), 10.0)
+        assert pid in store.dht_servers()
+        store.record_identify(pid, make_identify(server=False), 20.0)
+        assert pid not in store.dht_servers()
+        protocol_changes = store.changes_of_kind(ChangeKind.PROTOCOLS)
+        assert len(protocol_changes) == 2
+
+    def test_connected_flag_and_observed_addr(self, rng):
+        store = Peerstore()
+        pid = PeerId.random(rng)
+        addr = Multiaddr.tcp("9.8.7.6")
+        store.set_connected(pid, True, 5.0, observed_addr=addr)
+        assert store.get(pid).connected
+        assert store.get(pid).observed_addr.ip() == "9.8.7.6"
+        store.set_connected(pid, False, 6.0)
+        assert not store.get(pid).connected
+
+    def test_agent_histogram(self, rng):
+        store = Peerstore()
+        for _ in range(3):
+            store.record_identify(PeerId.random(rng), make_identify("go-ipfs/0.11.0"), 1.0)
+        store.record_identify(PeerId.random(rng), make_identify("storm"), 1.0)
+        histogram = store.agent_histogram()
+        assert histogram["go-ipfs/0.11.0"] == 3
+        assert histogram["storm"] == 1

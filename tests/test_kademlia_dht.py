@@ -1,0 +1,133 @@
+"""Tests for the Kademlia node: modes, lookups, bootstrap.
+
+The lookups run against an in-memory "oracle network": a dict of routing
+tables, with a query function that only answers for online server peers —
+the same shape the simulation and the crawler use.
+"""
+
+import random
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.kademlia.dht import DHTMode, KademliaNode
+from repro.kademlia.keys import key_for_peer, xor_distance
+from repro.kademlia.routing_table import RoutingTable
+from repro.libp2p.peer_id import PeerId
+
+
+class OracleNetwork:
+    """A static network of DHT servers with fully populated routing tables."""
+
+    def __init__(self, n_peers: int = 60, seed: int = 0):
+        rng = random.Random(seed)
+        self.peers: List[PeerId] = [PeerId.random(rng) for _ in range(n_peers)]
+        self.tables: Dict[PeerId, RoutingTable] = {}
+        self.offline: set = set()
+        for peer in self.peers:
+            table = RoutingTable(peer)
+            table.add_peers(p for p in self.peers if p != peer)
+            self.tables[peer] = table
+
+    def query(self, remote: PeerId, target: int, count: int) -> Optional[List[PeerId]]:
+        if remote in self.offline or remote not in self.tables:
+            return None
+        return self.tables[remote].closest_peers(target, count)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return OracleNetwork()
+
+
+class TestModes:
+    def test_server_answers_find_node(self):
+        node = KademliaNode(PeerId.random(random.Random(1)), mode=DHTMode.SERVER)
+        assert node.handle_find_node(0) == []
+
+    def test_client_does_not_answer(self):
+        node = KademliaNode(PeerId.random(random.Random(2)), mode=DHTMode.CLIENT)
+        assert node.handle_find_node(0) is None
+
+    def test_mode_switch(self):
+        node = KademliaNode(PeerId.random(random.Random(3)), mode=DHTMode.SERVER)
+        node.set_mode(DHTMode.CLIENT)
+        assert not node.is_server
+        node.set_mode(DHTMode.SERVER)
+        assert node.is_server
+
+    def test_observe_peer_only_adds_servers(self):
+        rng = random.Random(4)
+        node = KademliaNode(PeerId.random(rng))
+        server, client = PeerId.random(rng), PeerId.random(rng)
+        node.observe_peer(server, is_server=True)
+        node.observe_peer(client, is_server=False)
+        assert server in node.routing_table
+        assert client not in node.routing_table
+
+    def test_observe_peer_demotion_removes_from_table(self):
+        rng = random.Random(5)
+        node = KademliaNode(PeerId.random(rng))
+        peer = PeerId.random(rng)
+        node.observe_peer(peer, is_server=True)
+        node.observe_peer(peer, is_server=False)
+        assert peer not in node.routing_table
+
+
+class TestLookup:
+    def test_bootstrap_populates_routing_table(self, oracle):
+        node = KademliaNode(PeerId.random(random.Random(10)), rng=random.Random(10))
+        node.bootstrap(oracle.peers[:3], oracle.query)
+        assert node.table_size() > 10
+
+    def test_lookup_finds_closest_peers(self, oracle):
+        node = KademliaNode(PeerId.random(random.Random(11)), rng=random.Random(11))
+        node.bootstrap(oracle.peers[:3], oracle.query)
+        target = key_for_peer(oracle.peers[-1])
+        result = node.iterative_find_node(target, oracle.query, count=5)
+        assert result.succeeded()
+        # the true closest peer to its own key is the peer itself
+        assert oracle.peers[-1] in result.closest
+
+    def test_lookup_converges_to_global_closest(self, oracle):
+        node = KademliaNode(PeerId.random(random.Random(12)), rng=random.Random(12))
+        node.bootstrap(oracle.peers[:3], oracle.query)
+        target = random.Random(99).getrandbits(256)
+        result = node.iterative_find_node(target, oracle.query, count=3)
+        found = set(result.closest)
+        truly_closest = sorted(
+            oracle.peers, key=lambda p: xor_distance(key_for_peer(p), target)
+        )[:3]
+        # with a fully connected oracle the lookup must find the exact closest set
+        assert found == set(truly_closest)
+
+    def test_lookup_with_unreachable_peers_still_succeeds(self, oracle):
+        node = KademliaNode(PeerId.random(random.Random(13)), rng=random.Random(13))
+        node.bootstrap(oracle.peers[:3], oracle.query)
+        oracle.offline = set(oracle.peers[5:15])
+        try:
+            result = node.iterative_find_node(0, oracle.query, count=5)
+            assert result.succeeded()
+            assert result.queried
+        finally:
+            oracle.offline = set()
+
+    def test_lookup_respects_max_queries(self, oracle):
+        node = KademliaNode(PeerId.random(random.Random(14)), rng=random.Random(14))
+        node.routing_table.add_peers(oracle.peers)
+        result = node.iterative_find_node(0, oracle.query, max_queries=5)
+        assert len(result.queried) <= 5
+
+    def test_lookup_counts(self, oracle):
+        node = KademliaNode(PeerId.random(random.Random(15)), rng=random.Random(15))
+        node.routing_table.add_peers(oracle.peers[:10])
+        before = node.lookups_performed
+        node.iterative_find_node(123, oracle.query)
+        assert node.lookups_performed == before + 1
+
+    def test_refresh_runs_requested_lookups(self, oracle):
+        node = KademliaNode(PeerId.random(random.Random(16)), rng=random.Random(16))
+        node.routing_table.add_peers(oracle.peers[:10])
+        before = node.lookups_performed
+        node.refresh(oracle.query, lookups=3)
+        assert node.lookups_performed == before + 3

@@ -1,0 +1,119 @@
+"""Tests for k-buckets and the routing table."""
+
+import random
+
+from repro.kademlia.keys import key_for_peer, xor_distance
+from repro.kademlia.routing_table import KBucket, RoutingTable
+from repro.libp2p.peer_id import PeerId
+
+
+def make_pids(n, seed=0):
+    rng = random.Random(seed)
+    return [PeerId.random(rng) for _ in range(n)]
+
+
+class TestKBucket:
+    def test_touch_adds_new_peer(self):
+        bucket = KBucket(capacity=3)
+        pid = make_pids(1)[0]
+        assert bucket.touch(pid)
+        assert pid in bucket
+
+    def test_touch_moves_known_peer_to_tail(self):
+        bucket = KBucket(capacity=3)
+        a, b = make_pids(2)
+        bucket.touch(a)
+        bucket.touch(b)
+        bucket.touch(a)
+        assert bucket.peers == [b, a]
+        assert bucket.oldest() == b
+
+    def test_full_bucket_rejects_new_peer(self):
+        bucket = KBucket(capacity=2)
+        a, b, c = make_pids(3)
+        assert bucket.touch(a)
+        assert bucket.touch(b)
+        assert not bucket.touch(c)
+        assert c not in bucket
+
+    def test_remove(self):
+        bucket = KBucket(capacity=2)
+        a, b = make_pids(2)
+        bucket.touch(a)
+        assert bucket.remove(a)
+        assert not bucket.remove(b)
+        assert len(bucket) == 0
+
+
+class TestRoutingTable:
+    def test_never_stores_self(self):
+        pids = make_pids(2)
+        table = RoutingTable(pids[0])
+        assert not table.add_peer(pids[0])
+        assert pids[0] not in table
+
+    def test_add_and_contains(self):
+        local, other = make_pids(2)
+        table = RoutingTable(local)
+        assert table.add_peer(other)
+        assert other in table
+        assert len(table) == 1
+
+    def test_add_peers_returns_inserted_count(self):
+        pids = make_pids(30, seed=1)
+        table = RoutingTable(pids[0], bucket_size=20)
+        added = table.add_peers(pids[1:])
+        assert added <= 29
+        assert added == len(table)
+
+    def test_remove_peer(self):
+        local, other = make_pids(2, seed=2)
+        table = RoutingTable(local)
+        table.add_peer(other)
+        assert table.remove_peer(other)
+        assert other not in table
+        assert not table.remove_peer(other)
+
+    def test_closest_peers_sorted_by_xor_distance(self):
+        pids = make_pids(50, seed=3)
+        local = pids[0]
+        table = RoutingTable(local)
+        table.add_peers(pids[1:])
+        target = key_for_peer(pids[1])
+        closest = table.closest_peers(target, 10)
+        distances = [xor_distance(key_for_peer(p), target) for p in closest]
+        assert distances == sorted(distances)
+        assert len(closest) == 10
+
+    def test_closest_peers_caps_at_table_size(self):
+        pids = make_pids(5, seed=4)
+        table = RoutingTable(pids[0])
+        table.add_peers(pids[1:])
+        assert len(table.closest_peers(0, 50)) == len(table)
+
+    def test_neighborhood_is_closest_to_local_key(self):
+        pids = make_pids(40, seed=5)
+        local = pids[0]
+        table = RoutingTable(local)
+        table.add_peers(pids[1:])
+        neighborhood = table.neighborhood(5)
+        all_sorted = sorted(
+            table.all_peers(), key=lambda p: xor_distance(key_for_peer(p), key_for_peer(local))
+        )
+        assert neighborhood == all_sorted[:5]
+
+    def test_bucket_capacity_enforced(self):
+        # Peers falling into the same bucket beyond capacity are dropped.
+        pids = make_pids(400, seed=6)
+        table = RoutingTable(pids[0], bucket_size=20)
+        table.add_peers(pids[1:])
+        for index in table.nonempty_bucket_indices():
+            bucket = table._buckets[index]
+            assert len(bucket) <= 20
+
+    def test_depth_grows_with_population(self):
+        pids = make_pids(200, seed=7)
+        table = RoutingTable(pids[0])
+        table.add_peers(pids[1:])
+        assert table.depth() >= 0
+        assert len(table) > 0

@@ -1,0 +1,62 @@
+"""Tests for the connection object."""
+
+import random
+
+import pytest
+
+from repro.libp2p.connection import CloseReason, Connection, Direction
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.peer_id import PeerId
+
+
+def make_connection(opened_at=0.0, direction=Direction.INBOUND):
+    return Connection(
+        remote_peer=PeerId.random(random.Random(1)),
+        direction=direction,
+        remote_addr=Multiaddr.tcp("9.9.9.9"),
+        opened_at=opened_at,
+    )
+
+
+class TestConnection:
+    def test_new_connection_is_open(self):
+        conn = make_connection()
+        assert conn.is_open
+        assert conn.closed_at is None
+
+    def test_close_sets_reason_and_time(self):
+        conn = make_connection(opened_at=10.0)
+        conn.close(70.0, CloseReason.REMOTE_TRIM)
+        assert not conn.is_open
+        assert conn.closed_at == 70.0
+        assert conn.close_reason is CloseReason.REMOTE_TRIM
+        assert conn.duration() == 60.0
+
+    def test_double_close_rejected(self):
+        conn = make_connection()
+        conn.close(1.0, CloseReason.ERROR)
+        with pytest.raises(RuntimeError):
+            conn.close(2.0, CloseReason.ERROR)
+
+    def test_close_before_open_rejected(self):
+        conn = make_connection(opened_at=100.0)
+        with pytest.raises(ValueError):
+            conn.close(50.0, CloseReason.ERROR)
+
+    def test_open_connection_duration_requires_now(self):
+        conn = make_connection(opened_at=5.0)
+        with pytest.raises(ValueError):
+            conn.duration()
+        assert conn.duration(now=35.0) == 30.0
+
+    def test_connection_ids_are_unique(self):
+        a, b = make_connection(), make_connection()
+        assert a.connection_id != b.connection_id
+
+    def test_as_dict_contains_direction_and_addr(self):
+        conn = make_connection(direction=Direction.OUTBOUND)
+        conn.close(3.0, CloseReason.LOCAL_TRIM)
+        data = conn.as_dict()
+        assert data["direction"] == "outbound"
+        assert data["close_reason"] == "local-trim"
+        assert data["remote_addr"].startswith("/ip4/9.9.9.9")

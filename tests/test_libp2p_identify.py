@@ -1,0 +1,55 @@
+"""Tests for identify records."""
+
+from repro.libp2p.identify import IdentifyRecord
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.protocols import BITSWAP_120, IPFS_ID, KAD_DHT
+
+
+def make_record(server=True):
+    protocols = {IPFS_ID, BITSWAP_120}
+    if server:
+        protocols.add(KAD_DHT)
+    return IdentifyRecord.make(
+        agent_version="go-ipfs/0.11.0/abc",
+        protocols=protocols,
+        listen_addrs=[Multiaddr.tcp("1.2.3.4")],
+    )
+
+
+class TestIdentifyRecord:
+    def test_dht_server_detection(self):
+        assert make_record(server=True).is_dht_server()
+        assert not make_record(server=False).is_dht_server()
+
+    def test_bitswap_detection(self):
+        assert make_record().has_bitswap()
+
+    def test_with_agent_returns_new_record(self):
+        record = make_record()
+        updated = record.with_agent("go-ipfs/0.12.0/def")
+        assert updated.agent_version == "go-ipfs/0.12.0/def"
+        assert record.agent_version == "go-ipfs/0.11.0/abc"
+
+    def test_add_and_remove_protocol(self):
+        record = make_record(server=False)
+        with_kad = record.add_protocol(KAD_DHT)
+        assert with_kad.is_dht_server()
+        assert not with_kad.remove_protocol(KAD_DHT).is_dht_server()
+
+    def test_protocol_diff(self):
+        record = make_record(server=True)
+        flipped = record.remove_protocol(KAD_DHT)
+        added, removed = record.protocol_diff(flipped)
+        assert added == frozenset()
+        assert removed == frozenset({KAD_DHT})
+
+    def test_dict_round_trip(self):
+        record = make_record()
+        restored = IdentifyRecord.from_dict(record.as_dict())
+        assert restored.agent_version == record.agent_version
+        assert restored.protocols == record.protocols
+        assert [str(a) for a in restored.listen_addrs] == [str(a) for a in record.listen_addrs]
+
+    def test_records_are_hashable_value_objects(self):
+        assert make_record() == make_record()
+        assert len({make_record(), make_record()}) == 1

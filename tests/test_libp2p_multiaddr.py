@@ -1,0 +1,92 @@
+"""Tests for multiaddress parsing and helpers."""
+
+import random
+
+import pytest
+
+from repro.libp2p.multiaddr import (
+    Multiaddr,
+    addresses_for_peer,
+    random_private_ipv4,
+    random_public_ipv4,
+)
+
+
+class TestParsing:
+    def test_parse_tcp(self):
+        addr = Multiaddr.parse("/ip4/147.75.80.1/tcp/4001")
+        assert addr.ip() == "147.75.80.1"
+        assert addr.port() == 4001
+        assert addr.transport() == "tcp"
+
+    def test_parse_quic(self):
+        addr = Multiaddr.parse("/ip4/1.2.3.4/udp/4001/quic")
+        assert addr.transport() == "quic"
+        assert addr.port() == 4001
+
+    def test_parse_rejects_missing_leading_slash(self):
+        with pytest.raises(ValueError):
+            Multiaddr.parse("ip4/1.2.3.4/tcp/4001")
+
+    def test_parse_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            Multiaddr.parse("/ipx/1.2.3.4")
+
+    def test_parse_rejects_missing_value(self):
+        with pytest.raises(ValueError):
+            Multiaddr.parse("/ip4")
+
+    def test_round_trip(self):
+        text = "/ip4/10.1.2.3/tcp/4001"
+        assert str(Multiaddr.parse(text)) == text
+
+    def test_ip6(self):
+        addr = Multiaddr.tcp("2001:db8::1")
+        assert "/ip6/" in str(addr)
+        assert addr.ip() == "2001:db8::1"
+
+
+class TestClassification:
+    def test_private_address_detected(self):
+        assert Multiaddr.tcp("192.168.1.10").is_private()
+        assert Multiaddr.tcp("10.0.0.5").is_private()
+        assert not Multiaddr.tcp("84.23.11.9").is_private()
+
+    def test_loopback_is_private(self):
+        assert Multiaddr.tcp("127.0.0.1").is_private()
+
+    def test_relayed_address(self):
+        addr = Multiaddr.circuit_relay("5.6.7.8", "QmRelayPeer")
+        assert addr.is_relayed()
+        # the observed IP is the relay's, which is exactly why the paper's
+        # IP-grouping estimator struggles with relayed peers
+        assert addr.ip() == "5.6.7.8"
+
+    def test_with_peer_appends_p2p_component(self):
+        addr = Multiaddr.tcp("1.2.3.4").with_peer("QmX")
+        assert str(addr).endswith("/p2p/QmX")
+
+
+class TestRandomAddresses:
+    def test_random_public_ipv4_is_public(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            addr = Multiaddr.tcp(random_public_ipv4(rng))
+            assert not addr.is_private()
+
+    def test_random_private_ipv4_is_private(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            addr = Multiaddr.tcp(random_private_ipv4(rng))
+            assert addr.is_private()
+
+    def test_addresses_for_public_peer_include_public_ip(self):
+        rng = random.Random(3)
+        addrs = addresses_for_peer("84.44.22.11", rng, behind_nat=False)
+        assert any(a.ip() == "84.44.22.11" for a in addrs)
+
+    def test_addresses_for_nated_peer_hide_public_ip(self):
+        rng = random.Random(4)
+        addrs = addresses_for_peer("84.44.22.11", rng, behind_nat=True)
+        assert all(a.ip() != "84.44.22.11" for a in addrs)
+        assert all(a.is_private() for a in addrs)

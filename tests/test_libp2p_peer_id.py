@@ -1,0 +1,104 @@
+"""Tests for peer identifiers and base58 encoding."""
+
+import random
+
+import pytest
+
+from repro.libp2p.crypto import ED25519, KeyPair, generate_keypair
+from repro.libp2p.peer_id import PeerId, base58btc_decode, base58btc_encode
+
+
+class TestBase58:
+    def test_round_trip(self):
+        data = bytes(range(0, 40))
+        assert base58btc_decode(base58btc_encode(data)) == data
+
+    def test_leading_zeros_preserved(self):
+        data = b"\x00\x00\x01\x02"
+        encoded = base58btc_encode(data)
+        assert encoded.startswith("11")
+        assert base58btc_decode(encoded) == data
+
+    def test_empty_bytes(self):
+        assert base58btc_encode(b"") == ""
+        assert base58btc_decode("") == b""
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(ValueError):
+            base58btc_decode("0OIl")  # characters excluded from the alphabet
+
+
+class TestPeerId:
+    def test_from_keypair_is_deterministic(self):
+        rng = random.Random(42)
+        keypair = generate_keypair(rng)
+        assert PeerId.from_keypair(keypair) == PeerId.from_keypair(keypair)
+
+    def test_different_keys_yield_different_ids(self):
+        rng = random.Random(42)
+        a = PeerId.from_keypair(generate_keypair(rng))
+        b = PeerId.from_keypair(generate_keypair(rng))
+        assert a != b
+
+    def test_base58_round_trip(self):
+        pid = PeerId.random(random.Random(1))
+        assert PeerId.from_base58(pid.to_base58()) == pid
+
+    def test_base58_starts_with_qm(self):
+        # sha2-256 multihashes encode to the familiar "Qm..." prefix
+        pid = PeerId.random(random.Random(2))
+        assert pid.to_base58().startswith("Qm")
+
+    def test_digest_must_be_32_bytes(self):
+        with pytest.raises(ValueError):
+            PeerId(digest=b"\x00" * 16)
+
+    def test_kad_key_matches_digest(self):
+        pid = PeerId.random(random.Random(3))
+        assert pid.kad_key() == int.from_bytes(pid.digest, "big")
+
+    def test_ordering_is_consistent_with_digest(self):
+        pids = [PeerId.random(random.Random(i)) for i in range(10)]
+        assert sorted(pids) == sorted(pids, key=lambda p: p.digest)
+
+    def test_hashable_and_usable_in_sets(self):
+        rng = random.Random(4)
+        pid = PeerId.random(rng)
+        clone = PeerId(digest=pid.digest)
+        assert len({pid, clone}) == 1
+
+    def test_short_form_contains_prefix_and_suffix(self):
+        pid = PeerId.random(random.Random(5))
+        short = pid.short()
+        b58 = pid.to_base58()
+        assert short.startswith(b58[:6])
+        assert short.endswith(b58[-4:])
+
+    def test_from_base58_rejects_non_multihash(self):
+        with pytest.raises(ValueError):
+            PeerId.from_base58(base58btc_encode(b"\x01\x02\x03"))
+
+    def test_random_with_same_rng_sequence_differs(self):
+        rng = random.Random(6)
+        assert PeerId.random(rng) != PeerId.random(rng)
+
+
+class TestKeyPair:
+    def test_generate_ed25519(self):
+        keypair = generate_keypair(random.Random(1), key_type=ED25519)
+        assert len(keypair.public_key) == 32
+
+    def test_generate_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(random.Random(1), key_type="dsa")
+
+    def test_public_digest_is_stable(self):
+        keypair = KeyPair(key_type=ED25519, public_key=b"a" * 32, private_key=b"b" * 32)
+        assert keypair.public_digest() == keypair.public_digest()
+        assert len(keypair.public_digest()) == 32
+
+    def test_short_id_is_hex(self):
+        keypair = generate_keypair(random.Random(7))
+        short = keypair.short_id()
+        assert len(short) == 12
+        int(short, 16)  # must parse as hex

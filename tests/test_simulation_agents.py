@@ -1,0 +1,83 @@
+"""Tests for the agent-string catalogue."""
+
+import random
+
+from repro.libp2p.agent import parse_goipfs_agent
+from repro.simulation.agents import (
+    CRAWLER_AGENTS,
+    GO_IPFS_RELEASE_WEIGHTS,
+    HYDRA_AGENT,
+    AgentCatalog,
+)
+
+
+class TestAgentCatalog:
+    def test_goipfs_agent_strings_parse(self):
+        catalog = AgentCatalog(random.Random(1))
+        for _ in range(50):
+            agent = catalog.make_goipfs_agent()
+            assert parse_goipfs_agent(agent) is not None
+
+    def test_dirty_probability_zero_yields_clean_agents(self):
+        catalog = AgentCatalog(random.Random(2))
+        for _ in range(50):
+            agent = catalog.make_goipfs_agent(dirty_probability=0.0)
+            assert not parse_goipfs_agent(agent).dirty
+
+    def test_dirty_probability_one_yields_dirty_agents(self):
+        catalog = AgentCatalog(random.Random(3))
+        for _ in range(20):
+            agent = catalog.make_goipfs_agent(dirty_probability=1.0)
+            assert parse_goipfs_agent(agent).dirty
+
+    def test_upgrade_yields_newer_or_equal_latest(self):
+        catalog = AgentCatalog(random.Random(4))
+        for release in ("0.8.0", "0.10.0", "0.4.21"):
+            upgraded = catalog.upgraded_release(release)
+            old = parse_goipfs_agent(f"go-ipfs/{release}")
+            new = parse_goipfs_agent(f"go-ipfs/{upgraded}")
+            assert new.release >= old.release
+
+    def test_downgrade_yields_older_or_equal_oldest(self):
+        catalog = AgentCatalog(random.Random(5))
+        for release in ("0.11.0", "0.8.0"):
+            downgraded = catalog.downgraded_release(release)
+            old = parse_goipfs_agent(f"go-ipfs/{release}")
+            new = parse_goipfs_agent(f"go-ipfs/{downgraded}")
+            assert new.release <= old.release
+
+    def test_upgrade_of_latest_release_keeps_version_tuple(self):
+        catalog = AgentCatalog(random.Random(6))
+        latest = max(
+            GO_IPFS_RELEASE_WEIGHTS,
+            key=lambda r: parse_goipfs_agent(f"go-ipfs/{r}").release,
+        )
+        upgraded = catalog.upgraded_release(latest)
+        assert (
+            parse_goipfs_agent(f"go-ipfs/{upgraded}").release
+            == parse_goipfs_agent(f"go-ipfs/{latest}").release
+        )
+
+    def test_sample_composition_roughly_matches_shares(self):
+        catalog = AgentCatalog(random.Random(7))
+        samples = [catalog.sample() for _ in range(4000)]
+        goipfs = sum(1 for s in samples if s.is_goipfs)
+        missing = sum(1 for s in samples if s.agent is None)
+        storm = sum(1 for s in samples if s.is_storm)
+        assert 0.68 < goipfs / len(samples) < 0.85
+        assert 0.02 < missing / len(samples) < 0.08
+        assert storm > 0
+
+    def test_storm_goipfs_peers_report_080(self):
+        catalog = AgentCatalog(random.Random(8))
+        storm_goipfs = [
+            s for s in (catalog.sample() for _ in range(3000)) if s.is_storm and s.is_goipfs
+        ]
+        assert storm_goipfs
+        for sample in storm_goipfs:
+            assert sample.release == "0.8.0"
+
+    def test_crawler_and_hydra_agents(self):
+        catalog = AgentCatalog(random.Random(9))
+        assert catalog.hydra_agent() == HYDRA_AGENT
+        assert catalog.sample_crawler_agent() in CRAWLER_AGENTS

@@ -1,0 +1,121 @@
+"""Tests for the session/duration distributions."""
+
+import random
+
+import pytest
+
+from repro.simulation.churn_models import (
+    DAY,
+    HOUR,
+    ExponentialDistribution,
+    FixedDistribution,
+    LogNormalDistribution,
+    ParetoDistribution,
+    SessionModel,
+    UniformDistribution,
+    WeibullDistribution,
+    always_on_session,
+    light_session,
+    normal_session,
+    one_time_session,
+)
+
+
+class TestDistributions:
+    def test_fixed(self, rng):
+        dist = FixedDistribution(42.0)
+        assert dist.sample(rng) == 42.0
+        assert dist.mean() == 42.0
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedDistribution(-1.0)
+
+    def test_uniform_within_bounds(self, rng):
+        dist = UniformDistribution(10.0, 20.0)
+        for _ in range(100):
+            assert 10.0 <= dist.sample(rng) <= 20.0
+        assert dist.mean() == 15.0
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(20.0, 10.0)
+
+    def test_exponential_mean_close_to_parameter(self, rng):
+        dist = ExponentialDistribution(100.0)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert abs(sum(samples) / len(samples) - 100.0) < 10.0
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialDistribution(0.0)
+
+    def test_weibull_mean_formula(self, rng):
+        dist = WeibullDistribution(scale=100.0, shape=1.0)  # reduces to exponential
+        assert abs(dist.mean() - 100.0) < 1e-9
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert abs(sum(samples) / len(samples) - 100.0) < 10.0
+
+    def test_lognormal_from_median(self, rng):
+        dist = LogNormalDistribution.from_median_and_sigma(3600.0, 0.5)
+        samples = sorted(dist.sample(rng) for _ in range(5001))
+        median = samples[len(samples) // 2]
+        assert 0.8 * 3600.0 < median < 1.2 * 3600.0
+        assert dist.mean() > 3600.0  # log-normal mean exceeds the median
+
+    def test_pareto_mean(self):
+        dist = ParetoDistribution(xm=10.0, alpha=2.0)
+        assert dist.mean() == 20.0
+        assert ParetoDistribution(xm=10.0, alpha=0.5).mean() == float("inf")
+
+    def test_all_samples_non_negative(self, rng):
+        distributions = [
+            UniformDistribution(0.0, 5.0),
+            ExponentialDistribution(5.0),
+            WeibullDistribution(5.0, 0.7),
+            LogNormalDistribution(1.0, 1.0),
+            ParetoDistribution(1.0, 1.5),
+        ]
+        for dist in distributions:
+            for _ in range(200):
+                assert dist.sample(rng) >= 0.0
+
+
+class TestSessionModels:
+    def test_initial_state_respects_probability(self):
+        model = SessionModel(
+            uptime=FixedDistribution(10.0),
+            downtime=FixedDistribution(20.0),
+            initially_online_probability=1.0,
+        )
+        online, duration = model.initial_state(random.Random(0))
+        assert online
+        assert duration == 10.0
+
+        model_offline = SessionModel(
+            uptime=FixedDistribution(10.0),
+            downtime=FixedDistribution(20.0),
+            initially_online_probability=0.0,
+        )
+        online, duration = model_offline.initial_state(random.Random(0))
+        assert not online
+        assert duration == 20.0
+
+    def test_heavy_sessions_outlast_measurements(self, rng):
+        model = always_on_session()
+        assert model.initially_online_probability == 1.0
+        assert model.uptime.mean() > 3 * DAY
+
+    def test_one_time_sessions_are_bounded(self, rng):
+        model = one_time_session()
+        assert model.max_sessions in (1, 2)
+        assert model.uptime.mean() < 2 * HOUR
+
+    def test_class_session_means_are_ordered(self):
+        # heavy stays longest, then normal, then light, then one-time
+        heavy = always_on_session().uptime.mean()
+        normal = normal_session().uptime.mean()
+        light = light_session().uptime.mean()
+        once = one_time_session().uptime.mean()
+        assert heavy > normal > light
+        assert normal > once

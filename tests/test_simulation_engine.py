@@ -1,0 +1,115 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import Engine, PeriodicTask
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(9.0, lambda: order.append("c"))
+        engine.run_until(10.0)
+        assert order == ["a", "b", "c"]
+        assert engine.now == 10.0
+
+    def test_same_time_events_run_in_schedule_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append(1))
+        engine.schedule(1.0, lambda: order.append(2))
+        engine.run_until(2.0)
+        assert order == [1, 2]
+
+    def test_run_until_does_not_run_future_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda: fired.append(True))
+        engine.run_until(5.0)
+        assert fired == []
+        engine.run_until(15.0)
+        assert fired == [True]
+
+    def test_cancelled_events_do_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append(True))
+        event.cancel()
+        engine.run_until(2.0)
+        assert fired == []
+        assert engine.pending() == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = Engine(start_time=100.0)
+        with pytest.raises(ValueError):
+            engine.schedule_at(50.0, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        engine = Engine()
+        engine.run_until(10.0)
+        with pytest.raises(ValueError):
+            engine.run_until(5.0)
+
+    def test_callbacks_can_schedule_more_events(self):
+        engine = Engine()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                engine.schedule(1.0, chain, n + 1)
+
+        engine.schedule(0.0, chain, 0)
+        engine.run_until(10.0)
+        assert seen == [0, 1, 2, 3]
+
+    def test_events_processed_counter(self):
+        engine = Engine()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        engine.run_until(2.0)
+        assert engine.events_processed == 5
+
+    def test_run_drains_everything(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(100.0, lambda: seen.append(1))
+        engine.run()
+        assert seen == [1]
+        assert engine.now == 100.0
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval_with_now_argument(self):
+        engine = Engine()
+        times = []
+        PeriodicTask(engine, 10.0, times.append)
+        engine.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_start_delay(self):
+        engine = Engine()
+        times = []
+        PeriodicTask(engine, 10.0, times.append, start_delay=2.0)
+        engine.run_until(25.0)
+        assert times == [2.0, 12.0, 22.0]
+
+    def test_stop_halts_future_firings(self):
+        engine = Engine()
+        times = []
+        task = PeriodicTask(engine, 5.0, times.append)
+        engine.run_until(12.0)
+        task.stop()
+        engine.run_until(40.0)
+        assert times == [5.0, 10.0]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTask(Engine(), 0.0, lambda now: None)
