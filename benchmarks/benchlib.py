@@ -1,6 +1,35 @@
-"""Small helpers shared by the benchmark modules (not a benchmark itself)."""
+"""Shared benchmark helpers plus the core perf harness.
+
+Besides the small formatting helpers the figure/table benchmarks use, this
+module is the entry point for the repo's performance telemetry: it times every
+benchmark period (P0–P14) via :mod:`repro.perf` and writes the
+``BENCH_core.json`` snapshot that perf-oriented PRs diff against.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_PEERS``   — population override for every period
+* ``REPRO_BENCH_DAYS``    — simulated-days override for every period
+* ``REPRO_BENCH_SEED``    — seed (default 7)
+* ``REPRO_BENCH_WORKERS`` — worker processes for multi-period runs (default 1)
+
+Run it directly to produce a fresh snapshot::
+
+    PYTHONPATH=src python benchmarks/benchlib.py            # full harness
+    PYTHONPATH=src REPRO_BENCH_PEERS=300 REPRO_BENCH_DAYS=0.1 \
+        python benchmarks/benchlib.py                       # quick smoke
+"""
 
 from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro import perf
+from repro.experiments.runner import bench_workers, measure_periods
+
+#: the six benchmark periods, in Table I order
+CORE_PERIODS: Tuple[str, ...] = ("P0", "P1", "P2", "P3", "P4", "P14")
 
 
 def scale_note(result) -> str:
@@ -11,3 +40,90 @@ def scale_note(result) -> str:
         f"[simulated scale: {population} peers, {days:.2f} d, seed {result.config.seed}; "
         f"paper scale: ~62k connected PIDs]"
     )
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "")
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "")
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def bench_env() -> dict:
+    """The harness configuration taken from the ``REPRO_BENCH_*`` knobs."""
+    seed = _env_int("REPRO_BENCH_SEED")
+    return {
+        "n_peers": _env_int("REPRO_BENCH_PEERS"),
+        "duration_days": _env_float("REPRO_BENCH_DAYS"),
+        "seed": seed if seed is not None else 7,
+        "workers": bench_workers(),
+    }
+
+
+def run_core_bench(
+    periods: Sequence[str] = CORE_PERIODS,
+    out: Optional[str] = perf.DEFAULT_SNAPSHOT_NAME,
+    note: str = "",
+    n_peers: Optional[int] = None,
+    duration_days: Optional[float] = None,
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> List[perf.PeriodPerf]:
+    """Time every period and (optionally) write the ``BENCH_core.json`` snapshot.
+
+    Explicit arguments win over the ``REPRO_BENCH_*`` environment knobs.
+    """
+    env = bench_env()
+    perfs = measure_periods(
+        periods,
+        n_peers=n_peers if n_peers is not None else env["n_peers"],
+        duration_days=duration_days if duration_days is not None else env["duration_days"],
+        seed=seed if seed is not None else env["seed"],
+        workers=workers if workers is not None else env["workers"],
+    )
+    if out:
+        perf.write_snapshot(out, perfs, note=note)
+    return perfs
+
+
+def render_perf_table(perfs: Sequence[perf.PeriodPerf]) -> str:
+    """Human-readable summary of a harness run."""
+    lines = [
+        f"{'period':<7}{'peers':>7}{'days':>7}{'wall s':>9}{'events':>10}{'ev/s':>10}{'queries':>9}",
+    ]
+    for p in perfs:
+        lines.append(
+            f"{p.period_id:<7}{p.n_peers:>7}{p.duration_days:>7.2f}{p.wall_seconds:>9.2f}"
+            f"{p.events_processed:>10}{p.events_per_sec:>10.0f}{p.queries_sent:>9}"
+        )
+    total_wall = sum(p.wall_seconds for p in perfs)
+    total_events = sum(p.events_processed for p in perfs)
+    rate = total_events / total_wall if total_wall > 0 else 0.0
+    lines.append(f"{'total':<7}{'':>7}{'':>7}{total_wall:>9.2f}{total_events:>10}{rate:>10.0f}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    out = args[0] if args else perf.DEFAULT_SNAPSHOT_NAME
+    perfs = run_core_bench(out=out, note="core perf harness run")
+    print(render_perf_table(perfs))
+    print(f"snapshot written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

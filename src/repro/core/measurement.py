@@ -43,8 +43,6 @@ class MeasurementRecorder:
         self._open: Dict[int, Connection] = {}
         self._closed: List[ConnectionRecord] = []
         self._snapshots: List[SnapshotRecord] = []
-        #: peers that announced /ipfs/kad/1.0.0 at any time during the period
-        self._ever_dht_server: set = set()
 
     # -- SwarmListener interface ---------------------------------------------------
 
@@ -61,21 +59,13 @@ class MeasurementRecorder:
 
     def poll(self, now: float, node: MeasuredNode) -> SnapshotRecord:
         """Record one periodic snapshot (every 30 s for go-ipfs, 1 min for hydra)."""
-        connected_pids = len(
-            {c.remote_peer for c in node.swarm.connections()}
-        )
         snapshot = SnapshotRecord(
             timestamp=now,
             simultaneous_connections=node.swarm.connection_count(),
             known_pids=len(node.peerstore),
-            connected_pids=connected_pids,
+            connected_pids=node.swarm.connected_peer_count(),
         )
         self._snapshots.append(snapshot)
-        # Track DHT-Server announcements as they happen so later retractions
-        # (role flips) do not erase the fact the peer once was a server.
-        for entry in node.peerstore.entries():
-            if KAD_DHT in entry.protocols:
-                self._ever_dht_server.add(entry.peer)
         return snapshot
 
     # -- finalisation ------------------------------------------------------------------
@@ -95,9 +85,11 @@ class MeasurementRecorder:
         dataset.connections.sort(key=lambda c: c.opened_at)
         dataset.snapshots = list(self._snapshots)
 
+        # The peerstore tracks server announcements as they happen, so later
+        # retractions (role flips) do not erase the fact the peer once was a
+        # server.
+        ever_servers = node.peerstore.ever_dht_servers()
         for entry in node.peerstore.entries():
-            if KAD_DHT in entry.protocols:
-                self._ever_dht_server.add(entry.peer)
             dataset.peers[str(entry.peer)] = PeerRecord(
                 peer=str(entry.peer),
                 first_seen=entry.first_seen,
@@ -106,7 +98,7 @@ class MeasurementRecorder:
                 protocols=set(entry.protocols),
                 addrs=[str(a) for a in entry.addrs],
                 observed_ip=entry.observed_addr.ip() if entry.observed_addr else None,
-                ever_dht_server=entry.peer in self._ever_dht_server,
+                ever_dht_server=entry.peer in ever_servers or KAD_DHT in entry.protocols,
             )
 
         for change in node.peerstore.changes():

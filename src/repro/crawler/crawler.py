@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Set
+from typing import Callable, Deque, Iterable, List, Optional, Set
 
 from repro.kademlia.keys import KEY_BITS, key_for_peer, random_key_in_bucket
 from repro.libp2p.peer_id import PeerId
@@ -79,12 +80,14 @@ class Crawler:
     def crawl(self, now: float) -> CrawlSnapshot:
         """Run one full crawl starting at simulated time ``now``."""
         snapshot = CrawlSnapshot(started_at=now, finished_at=now + self.crawl_duration)
-        to_visit: List[PeerId] = list(self.bootstrap_peers)
+        # FIFO frontier: bootstrap peers first, then peers in discovery order —
+        # an actual breadth-first walk (popping the tail would be depth-first).
+        to_visit: Deque[PeerId] = deque(self.bootstrap_peers)
         seen: Set[PeerId] = set(to_visit)
         snapshot.discovered.update(to_visit)
 
         while to_visit:
-            peer = to_visit.pop()
+            peer = to_visit.popleft()
             answered = False
             for target in self._targets_for(peer):
                 snapshot.queries_sent += 1

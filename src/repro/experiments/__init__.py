@@ -9,14 +9,23 @@ share one simulation run.
 
 from repro.experiments.paper_values import PAPER, PaperReference
 from repro.experiments.periods import PERIODS, PeriodSpec, period
-from repro.experiments.runner import run_period, run_period_cached
+from repro.experiments.runner import (
+    bench_workers,
+    measure_periods,
+    run_period,
+    run_period_cached,
+    run_periods,
+)
 
 __all__ = [
     "PAPER",
     "PaperReference",
     "PERIODS",
     "PeriodSpec",
+    "bench_workers",
+    "measure_periods",
     "period",
     "run_period",
     "run_period_cached",
+    "run_periods",
 ]

@@ -1,18 +1,30 @@
-"""Running measurement periods, with in-session caching.
+"""Running measurement periods, with in-session caching and parallelism.
 
 Several benchmarks analyse the same period (P4 feeds Fig. 3, Fig. 4, Fig. 7,
 Table III, Table IV, and both Section V estimators), so the runner memoises
 scenario results by their exact parameters.  A simulation run is deterministic
 for a given (period, n_peers, duration, seed), so caching does not change any
 result — it only avoids re-simulating.
+
+Independent periods can also run in separate worker processes: set
+``REPRO_BENCH_WORKERS`` (or pass ``workers=``) and :func:`run_periods` /
+:func:`measure_periods` will fan the six benchmark periods (P0–P14) out over a
+process pool.  Each period is still simulated single-threaded and seeded, so
+parallelism changes wall time only — never results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.periods import PeriodSpec, period
+from repro.perf import PeriodPerf, measure_period
 from repro.simulation.scenario import Scenario, ScenarioResult
+
+#: environment knob: number of worker processes for multi-period runs
+BENCH_WORKERS_ENV = "REPRO_BENCH_WORKERS"
 
 _CacheKey = Tuple[str, int, float, int, bool]
 _CACHE: Dict[_CacheKey, ScenarioResult] = {}
@@ -58,3 +70,75 @@ def run_period_cached(
 def clear_cache() -> None:
     """Drop every cached scenario result (used by tests)."""
     _CACHE.clear()
+
+
+# -- multi-period / parallel execution ------------------------------------------
+
+
+def bench_workers(default: int = 1) -> int:
+    """Worker-process count from ``REPRO_BENCH_WORKERS`` (opt-in, default 1)."""
+    raw = os.environ.get(BENCH_WORKERS_ENV, "")
+    try:
+        workers = int(raw)
+    except ValueError:
+        return default
+    return max(1, workers) if raw else default
+
+
+def _fan_out(fn, period_ids: Iterable[str], workers: Optional[int], **kwargs) -> List:
+    """Apply ``fn(period_id, **kwargs)`` to every period, optionally in a pool.
+
+    Results come back in input order.  Each period is independently seeded, so
+    the pool changes wall time only — never results.
+    """
+    ids = list(period_ids)
+    workers = bench_workers() if workers is None else max(1, workers)
+    if workers <= 1 or len(ids) <= 1:
+        return [fn(pid, **kwargs) for pid in ids]
+    with ProcessPoolExecutor(max_workers=min(workers, len(ids))) as pool:
+        futures = [pool.submit(fn, pid, **kwargs) for pid in ids]
+        return [future.result() for future in futures]
+
+
+def run_periods(
+    period_ids: Iterable[str],
+    n_peers: Optional[int] = None,
+    duration_days: Optional[float] = None,
+    seed: int = 7,
+    run_crawler: Optional[bool] = None,
+    workers: Optional[int] = None,
+) -> Dict[str, ScenarioResult]:
+    """Run several measurement periods, optionally in parallel processes.
+
+    Returns ``{period_id: ScenarioResult}`` in the order given.  With
+    ``workers > 1`` each period runs in its own process; results are identical
+    to the sequential path because every period is independently seeded.
+    """
+    ids = list(period_ids)
+    results = _fan_out(
+        run_period, ids, workers,
+        n_peers=n_peers, duration_days=duration_days, seed=seed, run_crawler=run_crawler,
+    )
+    return dict(zip(ids, results))
+
+
+def measure_periods(
+    period_ids: Iterable[str],
+    n_peers: Optional[int] = None,
+    duration_days: Optional[float] = None,
+    seed: int = 7,
+    run_crawler: Optional[bool] = None,
+    workers: Optional[int] = None,
+) -> List[PeriodPerf]:
+    """Time several periods (see :func:`repro.perf.measure_period`).
+
+    The parallel path ships only the compact :class:`PeriodPerf` summaries
+    back from the workers, not whole scenario results, which keeps the
+    benchmark harness cheap even for large populations.  Wall times measured
+    with ``workers > 1`` reflect a loaded machine; use ``workers=1`` when the
+    per-period numbers themselves are the benchmark.
+    """
+    return _fan_out(
+        measure_period, period_ids, workers,
+        n_peers=n_peers, duration_days=duration_days, seed=seed, run_crawler=run_crawler,
+    )

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.libp2p.identify import IdentifyRecord
 from repro.libp2p.multiaddr import Multiaddr
 from repro.libp2p.peer_id import PeerId
+from repro.libp2p.protocols import KAD_DHT
 
 
 class ChangeKind(enum.Enum):
@@ -59,7 +60,7 @@ class PeerEntry:
     observed_addr: Optional[Multiaddr] = None
 
     def is_dht_server(self) -> bool:
-        return "/ipfs/kad/1.0.0" in self.protocols
+        return KAD_DHT in self.protocols
 
 
 class Peerstore:
@@ -68,6 +69,10 @@ class Peerstore:
     def __init__(self) -> None:
         self._entries: Dict[PeerId, PeerEntry] = {}
         self._changes: List[MetaChange] = []
+        #: peers that *ever* announced the DHT server protocol, maintained
+        #: incrementally at identify time so measurement polling does not have
+        #: to rescan the whole (ever-growing) store every 30 simulated seconds
+        self._ever_dht_server: Set[PeerId] = set()
 
     # -- basic access -----------------------------------------------------------
 
@@ -131,6 +136,8 @@ class Peerstore:
             entry.protocols = new_protocols
             self._changes.append(change)
             emitted.append(change)
+            if KAD_DHT in new_protocols:
+                self._ever_dht_server.add(peer)
 
         new_addrs = tuple(record.listen_addrs)
         if new_addrs and new_addrs != entry.addrs:
@@ -145,6 +152,10 @@ class Peerstore:
     def dht_servers(self) -> List[PeerId]:
         """Peers whose last known protocol set announces the DHT server protocol."""
         return [entry.peer for entry in self._entries.values() if entry.is_dht_server()]
+
+    def ever_dht_servers(self) -> Set[PeerId]:
+        """Peers that announced the DHT server protocol at any point (read-only)."""
+        return self._ever_dht_server
 
     def agent_histogram(self) -> Dict[Optional[str], int]:
         histogram: Dict[Optional[str], int] = {}

@@ -54,10 +54,17 @@ class Swarm:
         return list(self._open_by_id.values())
 
     def connections_to(self, peer: PeerId) -> List[Connection]:
-        return [c for c in self._open_by_id.values() if c.remote_peer == peer]
+        return self.connmgr.connections_to(peer)
 
     def is_connected(self, peer: PeerId) -> bool:
-        return any(c.remote_peer == peer for c in self._open_by_id.values())
+        # The connection manager indexes connections per peer; O(1) versus
+        # scanning every open connection (this is on the close path of every
+        # single connection the measurement node sees).
+        return self.connmgr.is_connected(peer)
+
+    def connected_peer_count(self) -> int:
+        """Distinct peers with an open connection (the snapshot 'connected PIDs')."""
+        return self.connmgr.connected_peer_count()
 
     def connected_peers(self) -> List[PeerId]:
         return self.connmgr.connected_peers()

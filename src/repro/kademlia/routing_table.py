@@ -5,39 +5,65 @@ Each Kademlia node keeps up to ``k`` peers per distance bucket.  IPFS uses
 ``/ipfs/kad/1.0.0``); this is the structural reason why crawlers — which walk
 routing tables — can never observe DHT-Clients, a distinction the paper's
 horizon comparison (Fig. 2) relies on.
+
+Lookup performance matters here: every FIND_NODE a simulated DHT-Server
+answers goes through :meth:`RoutingTable.closest_peers`.  Buckets therefore
+store precomputed ``(key, pid)`` pairs in an insertion-ordered mapping (O(1)
+``touch``/``remove``), and ``closest_peers`` walks buckets in ascending
+distance order instead of sorting the whole table:  for a fixed target, the
+XOR distances of any two non-empty buckets occupy *disjoint* ranges, so
+traversal can stop as soon as enough candidates have been collected and only
+those candidates go through ``heapq.nsmallest``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.kademlia.keys import KEY_BITS, bucket_index, key_for_peer, xor_distance
+from repro.kademlia.keys import KEY_BITS, bucket_index, key_for_peer
 from repro.libp2p.peer_id import PeerId
 
 #: IPFS bucket size.
 DEFAULT_BUCKET_SIZE = 20
 
 
-@dataclass
 class KBucket:
-    """A single k-bucket with least-recently-seen eviction order."""
+    """A single k-bucket with least-recently-seen eviction order.
 
-    capacity: int = DEFAULT_BUCKET_SIZE
-    # Oldest (least recently seen) first, like the original Kademlia paper.
-    peers: List[PeerId] = field(default_factory=list)
+    Entries are kept in an insertion-ordered mapping ``pid -> kad key`` —
+    oldest (least recently seen) first, like the original Kademlia paper —
+    which makes membership, ``touch`` and ``remove`` O(1) instead of the
+    list-scan the naive representation needs.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_BUCKET_SIZE) -> None:
+        self.capacity = capacity
+        self._entries: Dict[PeerId, int] = {}
 
     def __len__(self) -> int:
-        return len(self.peers)
+        return len(self._entries)
 
     def __contains__(self, peer: PeerId) -> bool:
-        return peer in self.peers
+        return peer in self._entries
+
+    @property
+    def peers(self) -> List[PeerId]:
+        """Peers in LRU order (oldest first)."""
+        return list(self._entries)
 
     @property
     def is_full(self) -> bool:
-        return len(self.peers) >= self.capacity
+        return len(self._entries) >= self.capacity
 
-    def touch(self, peer: PeerId) -> bool:
+    def entries(self) -> Iterator[Tuple[int, PeerId]]:
+        """Iterate ``(kad key, pid)`` pairs in LRU order."""
+        for pid, key in self._entries.items():
+            yield key, pid
+
+    def touch(self, peer: PeerId, key: Optional[int] = None) -> bool:
         """Record activity from ``peer``.
 
         Returns True if the peer is now in the bucket.  A known peer moves to
@@ -46,23 +72,35 @@ class KBucket:
         when full", which is also what go-libp2p effectively does for unreplaced
         entries.
         """
-        if peer in self.peers:
-            self.peers.remove(peer)
-            self.peers.append(peer)
+        entries = self._entries
+        known = entries.pop(peer, None)
+        if known is not None:
+            entries[peer] = known
             return True
-        if not self.is_full:
-            self.peers.append(peer)
+        if len(entries) < self.capacity:
+            entries[peer] = key if key is not None else key_for_peer(peer)
             return True
         return False
 
     def remove(self, peer: PeerId) -> bool:
-        if peer in self.peers:
-            self.peers.remove(peer)
-            return True
-        return False
+        return self._entries.pop(peer, None) is not None
 
     def oldest(self) -> Optional[PeerId]:
-        return self.peers[0] if self.peers else None
+        return next(iter(self._entries), None)
+
+
+def _bucket_min_distance(diff: int, index: int) -> int:
+    """Smallest possible XOR distance to the target of any key in bucket ``index``.
+
+    ``diff`` is ``local_key ^ target``.  Keys in bucket ``index`` agree with the
+    local key above bit ``index`` and differ at bit ``index``, so their distance
+    to the target has ``diff``'s bits above ``index``, the flipped ``diff`` bit
+    at ``index``, and anything below — the per-bucket distance ranges are
+    disjoint, which is what makes ordered early-exit traversal exact.
+    """
+    high = diff >> (index + 1) << (index + 1)
+    flipped = ((diff >> index) & 1) ^ 1
+    return high | (flipped << index)
 
 
 class RoutingTable:
@@ -80,9 +118,12 @@ class RoutingTable:
         """Try to insert/refresh ``peer``; returns True if it is (now) present."""
         if peer == self.local_peer:
             return False
-        index = bucket_index(self.local_key, key_for_peer(peer))
-        bucket = self._buckets.setdefault(index, KBucket(capacity=self.bucket_size))
-        return bucket.touch(peer)
+        key = key_for_peer(peer)
+        index = (key ^ self.local_key).bit_length() - 1
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = KBucket(capacity=self.bucket_size)
+        return bucket.touch(peer, key)
 
     def add_peers(self, peers: Iterable[PeerId]) -> int:
         """Insert many peers; returns how many ended up in the table."""
@@ -100,7 +141,7 @@ class RoutingTable:
         if bucket is None:
             return False
         removed = bucket.remove(peer)
-        if removed and not bucket.peers:
+        if removed and not len(bucket):
             del self._buckets[index]
         return removed
 
@@ -132,10 +173,28 @@ class RoutingTable:
         return sorted(self._buckets)
 
     def closest_peers(self, target: int, count: int) -> List[PeerId]:
-        """Return up to ``count`` known peers closest (XOR) to ``target``."""
-        peers = self.all_peers()
-        peers.sort(key=lambda p: xor_distance(key_for_peer(p), target))
-        return peers[:count]
+        """Return up to ``count`` known peers closest (XOR) to ``target``.
+
+        Buckets are visited in ascending order of their minimum distance to the
+        target; because per-bucket distance ranges are disjoint, traversal
+        stops once ``count`` candidates have been collected and only those are
+        ranked, instead of sorting the entire table per query.
+        """
+        if count <= 0:
+            return []
+        buckets = self._buckets
+        diff = self.local_key ^ target
+        order = sorted(buckets, key=lambda i: _bucket_min_distance(diff, i))
+        candidates: List[Tuple[int, PeerId]] = []
+        for index in order:
+            candidates.extend(buckets[index].entries())
+            if len(candidates) >= count:
+                break
+        if len(candidates) <= count:
+            candidates.sort(key=lambda kp: kp[0] ^ target)
+            return [pid for _, pid in candidates]
+        best = heapq.nsmallest(count, candidates, key=lambda kp: kp[0] ^ target)
+        return [pid for _, pid in best]
 
     def neighborhood(self, count: int) -> List[PeerId]:
         """Peers closest to the local key (the node's DHT neighbourhood)."""

@@ -116,6 +116,18 @@ class ConnectionManager:
     def is_connected(self, peer: PeerId) -> bool:
         return peer in self._peer_conns
 
+    def connected_peer_count(self) -> int:
+        """Number of distinct peers with at least one open connection (O(1))."""
+        return len(self._peer_conns)
+
+    def connections_to(self, peer: PeerId) -> List[Connection]:
+        """Open connections to ``peer``, oldest first (ascending connection id)."""
+        ids = self._peer_conns.get(peer)
+        if not ids:
+            return []
+        conns = self._connections
+        return [conns[cid] for cid in sorted(ids)]
+
     # -- tagging / protection ---------------------------------------------------
 
     def tag_peer(self, peer: PeerId, tag: str, value: int) -> None:

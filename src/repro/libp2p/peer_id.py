@@ -29,10 +29,10 @@ _SHA256_MULTIHASH_PREFIX = bytes([0x12, 0x20])
 def base58btc_encode(data: bytes) -> str:
     """Encode ``data`` as base58btc (the encoding used for Qm... peer IDs)."""
     num = int.from_bytes(data, "big")
-    encoded = ""
+    digits = []
     while num > 0:
         num, rem = divmod(num, 58)
-        encoded = _B58_ALPHABET[rem] + encoded
+        digits.append(_B58_ALPHABET[rem])
     # Preserve leading zero bytes as '1' characters.
     pad = 0
     for byte in data:
@@ -40,7 +40,7 @@ def base58btc_encode(data: bytes) -> str:
             pad += 1
         else:
             break
-    return "1" * pad + encoded
+    return "1" * pad + "".join(reversed(digits))
 
 
 def base58btc_decode(text: str) -> bytes:
@@ -62,15 +62,23 @@ def base58btc_decode(text: str) -> bytes:
 
 
 @total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PeerId:
-    """A libp2p peer identifier backed by a SHA-256 multihash digest."""
+    """A libp2p peer identifier backed by a SHA-256 multihash digest.
+
+    Distance checks, swarm bookkeeping, and dataset finalisation all hammer
+    ``kad_key()`` / ``hash()`` / ``str()``; the derived values are therefore
+    cached at construction (the digest is immutable, so they never change).
+    """
 
     digest: bytes
 
     def __post_init__(self) -> None:
         if len(self.digest) != 32:
             raise ValueError("PeerId digest must be 32 bytes (sha2-256)")
+        object.__setattr__(self, "_kad_key", int.from_bytes(self.digest, "big"))
+        object.__setattr__(self, "_hash", hash(self.digest))
+        object.__setattr__(self, "_b58", None)
 
     @classmethod
     def from_keypair(cls, keypair: KeyPair) -> "PeerId":
@@ -93,11 +101,15 @@ class PeerId:
         return cls.from_keypair(generate_keypair(rng))
 
     def to_base58(self) -> str:
-        return base58btc_encode(_SHA256_MULTIHASH_PREFIX + self.digest)
+        b58 = self._b58
+        if b58 is None:
+            b58 = base58btc_encode(_SHA256_MULTIHASH_PREFIX + self.digest)
+            object.__setattr__(self, "_b58", b58)
+        return b58
 
     def kad_key(self) -> int:
         """Return the 256-bit integer used for Kademlia XOR distance."""
-        return int.from_bytes(self.digest, "big")
+        return self._kad_key
 
     def short(self) -> str:
         """Short human-readable form used in logs and examples."""
@@ -115,5 +127,10 @@ class PeerId:
             return NotImplemented
         return self.digest < other.digest
 
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PeerId):
+            return self.digest == other.digest
+        return NotImplemented
+
     def __hash__(self) -> int:
-        return hash(self.digest)
+        return self._hash

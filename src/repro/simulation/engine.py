@@ -4,36 +4,40 @@ Single-threaded, deterministic, and intentionally boring: a binary heap of
 timestamped callbacks.  Simulated time is measured in seconds; scenarios run
 for one to fourteen simulated days, which corresponds to the paper's
 measurement periods.
+
+The heap holds plain ``(time, sequence, event)`` tuples — tuple comparison
+never reaches the event because the sequence number is unique — and the
+engine keeps a live count of cancelled-but-still-queued events so
+:meth:`Engine.pending` is O(1) instead of scanning the heap.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
-
-
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    sequence: int
-    event: "Event" = field(compare=False)
 
 
 class Event:
     """A scheduled callback; cancellation simply marks it dead."""
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "_engine")
 
     def __init__(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine: Optional["Engine"] = None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._cancelled_pending += 1
+            self._engine = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         name = getattr(self.callback, "__name__", repr(self.callback))
@@ -45,8 +49,10 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._heap: List[_HeapEntry] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._sequence = itertools.count()
+        #: cancelled events still sitting in the heap (popped lazily)
+        self._cancelled_pending = 0
         self.events_processed = 0
 
     @property
@@ -58,7 +64,8 @@ class Engine:
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
         event = Event(time, callback, args)
-        heapq.heappush(self._heap, _HeapEntry(time, next(self._sequence), event))
+        event._engine = self
+        heapq.heappush(self._heap, (time, next(self._sequence), event))
         return event
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
@@ -69,31 +76,32 @@ class Engine:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        return len(self._heap) - self._cancelled_pending
+
+    def _drain(self, end_time: Optional[float]) -> None:
+        """Process queued events, optionally only those with ``time <= end_time``."""
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and (end_time is None or heap[0][0] <= end_time):
+            time, _, event = pop(heap)
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                continue
+            event._engine = None
+            self._now = time
+            self.events_processed += 1
+            event.callback(*event.args)
 
     def run_until(self, end_time: float) -> None:
         """Process events with ``time <= end_time``; leaves ``now == end_time``."""
         if end_time < self._now:
             raise ValueError("end_time precedes current simulated time")
-        while self._heap and self._heap[0].time <= end_time:
-            entry = heapq.heappop(self._heap)
-            event = entry.event
-            if event.cancelled:
-                continue
-            self._now = entry.time
-            self.events_processed += 1
-            event.callback(*event.args)
+        self._drain(end_time)
         self._now = end_time
 
     def run(self) -> None:
         """Drain every queued event (useful for small unit-test scenarios)."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.event.cancelled:
-                continue
-            self._now = entry.time
-            self.events_processed += 1
-            entry.event.callback(*entry.event.args)
+        self._drain(None)
 
 
 class PeriodicTask:

@@ -92,6 +92,7 @@ class SimPeer:
         "routing_table",
         "last_online_at",
         "addrs",
+        "_dial_addr",
     )
 
     def __init__(self, profile: PeerProfile, rng: random.Random) -> None:
@@ -111,6 +112,11 @@ class SimPeer:
         self.addrs: List[Multiaddr] = addresses_for_peer(
             profile.public_ip, rng, behind_nat=profile.behind_nat
         )
+        # The observed dial address only depends on immutable profile fields;
+        # memoised because every contact/outbound dial asks for it.
+        self._dial_addr = Multiaddr.tcp(
+            profile.public_ip, port=4001 + (profile.peer_index % 1000)
+        )
 
     # -- identity ------------------------------------------------------------------
 
@@ -122,7 +128,7 @@ class SimPeer:
 
     def dial_addr(self) -> Multiaddr:
         """The multiaddr the measurement node observes for this peer's connections."""
-        return Multiaddr.tcp(self.profile.public_ip, port=4001 + (self.profile.peer_index % 1000))
+        return self._dial_addr
 
     def identify_record(self) -> IdentifyRecord:
         protocols = set(self.profile.protocols)
@@ -186,8 +192,12 @@ class SimulatedNetwork:
         self.rng = rng or random.Random(population.config.seed + 1)
         self.config = config or NetworkConfig()
         self.identities: List[MeasurementIdentity] = []
+        self._identities_by_label: Dict[str, MeasurementIdentity] = {}
         self.peers: List[SimPeer] = [SimPeer(p, self.rng) for p in population]
         self.peers_by_pid: Dict[PeerId, SimPeer] = {p.current_pid: p for p in self.peers}
+        #: peers currently online, keyed by peer_index (kept incrementally so
+        #: per-tick maintenance never scans the whole population)
+        self._online: Dict[int, SimPeer] = {}
         self._duration: Optional[float] = None
         self._tasks: List[PeriodicTask] = []
         self._started = False
@@ -198,6 +208,7 @@ class SimulatedNetwork:
         if self._started:
             raise RuntimeError("identities must be added before start()")
         self.identities.append(identity)
+        self._identities_by_label[identity.label] = identity
 
     def start(self, duration: float) -> None:
         """Schedule every process for a measurement of ``duration`` seconds."""
@@ -286,6 +297,7 @@ class SimulatedNetwork:
         peer.online = True
         peer.sessions_started += 1
         peer.last_online_at = now
+        self._online[peer.profile.peer_index] = peer
         self.engine.schedule(uptime, self._session_end, peer)
         for identity in self.identities:
             delay = self._contact_delay(peer, identity)
@@ -298,6 +310,7 @@ class SimulatedNetwork:
         now = self.engine.now
         peer.online = False
         peer.last_online_at = now
+        self._online.pop(peer.profile.peer_index, None)
         for label, conn in list(peer.connections.items()):
             identity = self._identity_by_label(label)
             if identity is not None and conn.is_open:
@@ -313,10 +326,7 @@ class SimulatedNetwork:
     # --------------------------------------------------------------- contacts ----
 
     def _identity_by_label(self, label: str) -> Optional[MeasurementIdentity]:
-        for identity in self.identities:
-            if identity.label == label:
-                return identity
-        return None
+        return self._identities_by_label.get(label)
 
     def _contact_delay(self, peer: SimPeer, identity: MeasurementIdentity) -> Optional[float]:
         """Time until ``peer`` contacts ``identity`` in this session (None: never)."""
@@ -443,9 +453,13 @@ class SimulatedNetwork:
     def _identity_outbound(self, identity: MeasurementIdentity, now: float) -> None:
         """The measurement node's own modest outbound dialling (DHT queries,
         Bitswap sessions, routing-table maintenance) toward online peers."""
+        # Iterate the online set in peer_index order: identical ordering to a
+        # full population scan (peers are built in ascending index order), so
+        # the rng.sample draws — and thus the datasets — stay byte-identical.
         dialable = [
-            p for p in self.peers
-            if p.online and identity.label not in p.connections
+            p
+            for _, p in sorted(self._online.items())
+            if identity.label not in p.connections
         ]
         if not dialable:
             return
@@ -511,10 +525,12 @@ class SimulatedNetwork:
     # ------------------------------------------------------------------ stats ----
 
     def online_count(self) -> int:
-        return sum(1 for p in self.peers if p.online)
+        return len(self._online)
 
     def online_server_count(self) -> int:
-        return sum(1 for p in self.peers if p.online and p.is_dht_server)
+        # Scans only the online subset; kad_announced can flip at runtime
+        # (role-flip behaviours), so the server property is not cached.
+        return sum(1 for p in self._online.values() if p.is_dht_server)
 
     def observed_pid_count(self) -> int:
         return sum(len(p.all_pids) for p in self.peers)

@@ -94,3 +94,32 @@ class TestCrawlMonitor:
         crawl_range = CrawlMonitor().range()
         assert crawl_range.crawls == 0
         assert crawl_range.max_discovered == 0
+
+    def test_crawl_visits_breadth_first(self):
+        # Regression: the frontier must be FIFO (deque.popleft), not LIFO.
+        # Build a two-level topology where the bootstrap peer reveals a first
+        # ring and each ring peer reveals one leaf: breadth-first visits every
+        # ring peer before any leaf.
+        rng = random.Random(9)
+        root = PeerId.random(rng)
+        ring = [PeerId.random(rng) for _ in range(4)]
+        leaves = [PeerId.random(rng) for _ in range(4)]
+        replies = {root: list(ring)}
+        for peer, leaf in zip(ring, leaves):
+            replies[peer] = [leaf]
+
+        visit_order: List[PeerId] = []
+
+        def query(remote: PeerId, target: int, count: int) -> Optional[List[PeerId]]:
+            if not visit_order or visit_order[-1] is not remote:
+                visit_order.append(remote)
+            return replies.get(remote, [])
+
+        crawler = Crawler(query, bootstrap_peers=[root], buckets_per_peer=1,
+                          rng=random.Random(10))
+        crawler.crawl(now=0.0)
+
+        assert visit_order[0] == root
+        ring_positions = [visit_order.index(p) for p in ring]
+        leaf_positions = [visit_order.index(p) for p in leaves]
+        assert max(ring_positions) < min(leaf_positions)

@@ -117,3 +117,58 @@ class TestRoutingTable:
         table.add_peers(pids[1:])
         assert table.depth() >= 0
         assert len(table) > 0
+
+
+def _reference_closest(table, target, count):
+    """The seed implementation: full sort of every peer by XOR distance."""
+    peers = table.all_peers()
+    peers.sort(key=lambda p: xor_distance(key_for_peer(p), target))
+    return peers[:count]
+
+
+class TestClosestPeersEquivalence:
+    """The heap/bucket-ordered lookup must match the full-sort reference exactly."""
+
+    def test_randomized_tables_match_reference(self):
+        rng = random.Random(1234)
+        for trial in range(20):
+            n = rng.randrange(1, 120)
+            pids = [PeerId.random(rng) for _ in range(n + 1)]
+            table = RoutingTable(pids[0], bucket_size=rng.choice([4, 8, 20]))
+            table.add_peers(pids[1:])
+            for _ in range(10):
+                target = rng.getrandbits(256)
+                count = rng.randrange(1, 30)
+                assert table.closest_peers(target, count) == _reference_closest(
+                    table, target, count
+                )
+
+    def test_target_equal_to_member_key(self):
+        rng = random.Random(99)
+        pids = [PeerId.random(rng) for _ in range(60)]
+        table = RoutingTable(pids[0])
+        table.add_peers(pids[1:])
+        for member in pids[1:10]:
+            target = key_for_peer(member)
+            result = table.closest_peers(target, 8)
+            assert result == _reference_closest(table, target, 8)
+            assert result[0] == member
+
+    def test_neighborhood_matches_reference(self):
+        rng = random.Random(4321)
+        for trial in range(10):
+            pids = [PeerId.random(rng) for _ in range(rng.randrange(2, 150))]
+            table = RoutingTable(pids[0])
+            table.add_peers(pids[1:])
+            for count in (1, 5, 20, len(table) + 5):
+                assert table.neighborhood(count) == _reference_closest(
+                    table, table.local_key, count
+                )
+
+    def test_zero_and_negative_count(self):
+        rng = random.Random(7)
+        pids = [PeerId.random(rng) for _ in range(10)]
+        table = RoutingTable(pids[0])
+        table.add_peers(pids[1:])
+        assert table.closest_peers(123, 0) == []
+        assert table.closest_peers(123, -3) == []

@@ -113,3 +113,28 @@ class TestPeriodicTask:
     def test_zero_interval_rejected(self):
         with pytest.raises(ValueError):
             PeriodicTask(Engine(), 0.0, lambda now: None)
+
+
+class TestPendingCounter:
+    def test_pending_is_consistent_after_mixed_operations(self):
+        engine = Engine()
+        events = [engine.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert engine.pending() == 10
+        events[0].cancel()
+        events[5].cancel()
+        events[5].cancel()  # double-cancel must not double-count
+        assert engine.pending() == 8
+        engine.run_until(3.0)
+        assert engine.pending() == 10 - 3 - 1  # events 2,3 ran; 1 was cancelled
+        engine.run()
+        assert engine.pending() == 0
+
+    def test_cancel_after_firing_does_not_corrupt_pending(self):
+        engine = Engine()
+        event = engine.schedule(1.0, lambda: None)
+        later = engine.schedule(5.0, lambda: None)
+        engine.run_until(2.0)
+        event.cancel()  # already fired: must be a no-op for the counter
+        assert engine.pending() == 1
+        later.cancel()
+        assert engine.pending() == 0
