@@ -13,6 +13,9 @@ The package is organised in layers:
   size).
 * :mod:`repro.experiments` — the measurement periods of Table I and the
   paper's reference values, plus a cached runner used by the benchmarks.
+* :mod:`repro.scenarios` — the scenario registry: the paper periods plus
+  stress scenarios (flash crowds, diurnal weeks, mass outages, …), every
+  entry resolvable by name and sweepable via ``python -m repro.sweep``.
 
 Quick start::
 
@@ -35,5 +38,8 @@ __all__ = [
     "ipfs",
     "kademlia",
     "libp2p",
+    "perf",
+    "scenarios",
     "simulation",
+    "sweep",
 ]

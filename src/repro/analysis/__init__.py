@@ -16,6 +16,11 @@ from repro.analysis.stats import (
 )
 from repro.analysis.tables import TextTable, format_count, format_seconds
 from repro.analysis.plots import ascii_bar_chart, ascii_series, sparkline
+from repro.analysis.sweep_report import (
+    aggregate_payload,
+    aggregate_table,
+    render_aggregate,
+)
 
 __all__ = [
     "EmpiricalCDF",
@@ -31,4 +36,7 @@ __all__ = [
     "ascii_bar_chart",
     "ascii_series",
     "sparkline",
+    "aggregate_payload",
+    "aggregate_table",
+    "render_aggregate",
 ]

@@ -1,0 +1,92 @@
+"""Aggregation of scenario-sweep cell summaries.
+
+The sweep CLI (``python -m repro.sweep``) produces one JSON summary dict per
+(scenario, population, seed) cell; this module turns a list of those dicts
+into the aggregate artifacts — a totals payload and a rendered
+:class:`~repro.analysis.tables.TextTable`.  Everything here is deterministic:
+no timestamps, no wall-clock fields, stable ordering — two sweeps with the
+same flags must aggregate to byte-identical output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import TextTable, format_count
+
+#: schema tags of the sweep artifacts
+CELL_SCHEMA = "repro-sweep-cell/1"
+SWEEP_SCHEMA = "repro-sweep/1"
+
+
+def primary_dataset_label(summary: Dict) -> Optional[str]:
+    """The dataset a cell is judged by: go-ipfs if deployed, else the hydra union."""
+    datasets = summary.get("datasets", {})
+    for label in ("go-ipfs", "hydra"):
+        if label in datasets:
+            return label
+    return next(iter(sorted(datasets)), None)
+
+
+def aggregate_payload(summaries: Sequence[Dict]) -> Dict:
+    """The ``sweep_summary.json`` payload: all cells plus sweep-wide totals."""
+    totals = {
+        "cells": len(summaries),
+        "events_processed": sum(s["events_processed"] for s in summaries),
+        "queries_sent": sum(s["queries_sent"] for s in summaries),
+        # The "hydra" dataset is the union of the per-head datasets summed
+        # alongside it; skip it so each recorded connection counts once.
+        "connections": sum(
+            counts["connections"]
+            for s in summaries
+            for label, counts in s["datasets"].items()
+            if label != "hydra"
+        ),
+    }
+    return {
+        "schema": SWEEP_SCHEMA,
+        "totals": totals,
+        "cells": list(summaries),
+    }
+
+
+def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
+    """One row per sweep cell, judged by its primary dataset."""
+    table = TextTable(
+        headers=[
+            "Scenario", "Peers", "Seed", "Events", "Dataset",
+            "PIDs", "Conns", "Avg dur (s)", "Trim share", "Queries",
+        ],
+        title="Scenario sweep",
+    )
+    for summary in summaries:
+        label = primary_dataset_label(summary)
+        counts = summary["datasets"].get(label, {}) if label else {}
+        churn = summary.get("churn", {}).get(label, {}) if label else {}
+        table.add_row(
+            summary["scenario"],
+            summary["n_peers"],
+            summary["seed"],
+            format_count(summary["events_processed"]),
+            label or "-",
+            format_count(counts.get("peers", 0)),
+            format_count(counts.get("connections", 0)),
+            f"{churn.get('avg_duration', 0.0):.1f}",
+            f"{churn.get('trim_share', 0.0):.2f}",
+            format_count(summary["queries_sent"]),
+        )
+    return table
+
+
+def render_aggregate(summaries: Sequence[Dict]) -> str:
+    """The ``sweep_table.txt`` content (table plus a totals line)."""
+    payload = aggregate_payload(summaries)
+    totals = payload["totals"]
+    lines: List[str] = [aggregate_table(summaries).render(), ""]
+    lines.append(
+        f"{totals['cells']} cells, "
+        f"{format_count(totals['events_processed'])} events, "
+        f"{format_count(totals['connections'])} recorded connections, "
+        f"{format_count(totals['queries_sent'])} crawler queries"
+    )
+    return "\n".join(lines) + "\n"

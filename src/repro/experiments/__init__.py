@@ -8,10 +8,11 @@ share one simulation run.
 """
 
 from repro.experiments.paper_values import PAPER, PaperReference
-from repro.experiments.periods import PERIODS, PeriodSpec, period
+from repro.experiments.periods import PERIODS, PeriodSpec, period, scale_watermarks
 from repro.experiments.runner import (
     bench_workers,
     measure_periods,
+    run_cells,
     run_period,
     run_period_cached,
     run_periods,
@@ -25,7 +26,9 @@ __all__ = [
     "bench_workers",
     "measure_periods",
     "period",
+    "run_cells",
     "run_period",
     "run_period_cached",
     "run_periods",
+    "scale_watermarks",
 ]

@@ -51,6 +51,34 @@ WATERMARK_HEADROOM = 4.0
 MIN_SCALED_LOW_WATER = 20
 
 
+def scale_watermarks(
+    low_water: int,
+    high_water: int,
+    n_peers: int,
+    *,
+    headroom: float = WATERMARK_HEADROOM,
+    min_low_water: int = MIN_SCALED_LOW_WATER,
+    paper_pids: int = PAPER_SCALE_PIDS,
+) -> Tuple[int, int]:
+    """Scale live-network connection-manager watermarks to a simulated population.
+
+    Shared by the period specs and the scenario registry so every scenario
+    derives its watermarks the same way: proportional to
+    ``n_peers / paper_pids`` with :data:`WATERMARK_HEADROOM` applied, LowWater
+    floored at ``min_low_water``, and HighWater kept strictly above LowWater.
+    """
+    if n_peers <= 0:
+        raise ValueError(f"n_peers must be positive, got {n_peers}")
+    if low_water <= 0 or high_water < low_water:
+        raise ValueError(
+            f"require 0 < low_water <= high_water, got {low_water}/{high_water}"
+        )
+    scale = n_peers / paper_pids * headroom
+    scaled_low = max(min_low_water, int(round(low_water * scale)))
+    scaled_high = max(scaled_low + 2, int(round(high_water * scale)))
+    return scaled_low, scaled_high
+
+
 @dataclass(frozen=True)
 class PeriodSpec:
     """One measurement period of Table I (plus the 14 d run of Fig. 6)."""
@@ -78,18 +106,12 @@ class PeriodSpec:
 
     def scaled_watermarks(self, n_peers: int) -> Tuple[int, int]:
         """Scale the Table I watermarks to the simulated population size."""
-        scale = n_peers / PAPER_SCALE_PIDS * WATERMARK_HEADROOM
-        low = max(MIN_SCALED_LOW_WATER, int(round(self.low_water * scale)))
-        high = max(low + 2, int(round(self.high_water * scale)))
-        return low, high
+        return scale_watermarks(self.low_water, self.high_water, n_peers)
 
     def scaled_hydra_watermarks(self, n_peers: int) -> Tuple[int, int]:
-        scale = n_peers / PAPER_SCALE_PIDS * WATERMARK_HEADROOM
         low = self.hydra_low_water if self.hydra_low_water is not None else 15_000
         high = self.hydra_high_water if self.hydra_high_water is not None else 20_000
-        scaled_low = max(MIN_SCALED_LOW_WATER, int(round(low * scale)))
-        scaled_high = max(scaled_low + 2, int(round(high * scale)))
-        return scaled_low, scaled_high
+        return scale_watermarks(low, high, n_peers)
 
     def scenario_config(
         self,

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, List, Optional, Tuple
+from functools import partial
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.periods import PeriodSpec, period
 from repro.perf import PeriodPerf, measure_period
@@ -85,19 +86,27 @@ def bench_workers(default: int = 1) -> int:
     return max(1, workers) if raw else default
 
 
-def _fan_out(fn, period_ids: Iterable[str], workers: Optional[int], **kwargs) -> List:
-    """Apply ``fn(period_id, **kwargs)`` to every period, optionally in a pool.
+def run_cells(fn, cells: Iterable[Sequence], workers: Optional[int] = None) -> List:
+    """Apply ``fn(*cell)`` to every cell, optionally in a process pool.
 
-    Results come back in input order.  Each period is independently seeded, so
-    the pool changes wall time only — never results.
+    The generic fan-out behind both the multi-period benchmark runner and the
+    scenario sweep CLI: results come back in input order, and because every
+    cell is independently seeded the pool changes wall time only — never
+    results.  ``fn`` must be a module-level callable (workers import it by
+    name) and each cell a tuple of its positional arguments.
     """
-    ids = list(period_ids)
+    cells = [tuple(cell) for cell in cells]
     workers = bench_workers() if workers is None else max(1, workers)
-    if workers <= 1 or len(ids) <= 1:
-        return [fn(pid, **kwargs) for pid in ids]
-    with ProcessPoolExecutor(max_workers=min(workers, len(ids))) as pool:
-        futures = [pool.submit(fn, pid, **kwargs) for pid in ids]
+    if workers <= 1 or len(cells) <= 1:
+        return [fn(*cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+        futures = [pool.submit(fn, *cell) for cell in cells]
         return [future.result() for future in futures]
+
+
+def _fan_out(fn, period_ids: Iterable[str], workers: Optional[int], **kwargs) -> List:
+    """Apply ``fn(period_id, **kwargs)`` to every period, optionally in a pool."""
+    return run_cells(partial(fn, **kwargs), [(pid,) for pid in period_ids], workers)
 
 
 def run_periods(

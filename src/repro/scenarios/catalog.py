@@ -1,0 +1,375 @@
+"""The built-in scenario catalog.
+
+Two families are registered at import time:
+
+* the six paper measurement periods (``p0`` … ``p4``, ``p14``), thin wrappers
+  around :mod:`repro.experiments.periods` so the sweep CLI can run Table I
+  rows by name, and
+* six stress scenarios that exercise churn regimes the paper's live
+  measurement could not control: flash crowds, diurnal weeks, correlated mass
+  outages, client-heavy populations, hydra head scaling, and the active
+  crawler racing a flash crowd.
+
+Every stress scenario derives its connection-manager watermarks through the
+same :func:`repro.experiments.periods.scale_watermarks` helper the paper
+periods use, so watermark mechanics stay comparable across the catalog.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Dict
+
+from repro.experiments.periods import PERIODS, scale_watermarks
+from repro.ipfs.config import IpfsConfig
+from repro.kademlia.dht import DHTMode
+from repro.simulation.churn_models import (
+    DAY,
+    HOUR,
+    ChurnModel,
+    DiurnalChurnModel,
+    FlashCrowdChurnModel,
+    MassOutageChurnModel,
+)
+from repro.simulation.population import (
+    PeerClass,
+    PopulationConfig,
+    default_session_model,
+)
+from repro.simulation.scenario import ScenarioConfig
+from repro.scenarios.registry import ScenarioSpec, register
+
+#: hydra-booster's (unscaled) connection-manager watermarks
+HYDRA_BASE_LOW_WATER = 15_000
+HYDRA_BASE_HIGH_WATER = 20_000
+
+
+# -- the paper's measurement periods ------------------------------------------------
+
+def _register_paper_periods() -> None:
+    for period_id, spec in PERIODS.items():
+        if spec.go_ipfs_mode is None:
+            vantage = "hydra only"
+        else:
+            vantage = "Server" if spec.go_ipfs_mode is DHTMode.SERVER else "Client"
+        default_days = (
+            spec.bench_duration_days
+            if spec.bench_duration_days is not None
+            else spec.duration_days
+        )
+        register(
+            ScenarioSpec(
+                name=period_id.lower(),
+                description=(
+                    f"Paper period {period_id} ({spec.start_date} – {spec.end_date}, "
+                    f"watermarks {spec.low_water}/{spec.high_water})"
+                ),
+                builder=lambda peers, days, seed, _spec=spec: _spec.scenario_config(
+                    n_peers=peers, duration_days=days, seed=seed
+                ),
+                tags=("paper",),
+                default_peers=spec.bench_peers,
+                default_duration_days=default_days,
+                knobs={
+                    "low_water": spec.low_water,
+                    "high_water": spec.high_water,
+                    "go_ipfs": vantage,
+                    "hydra_heads": spec.hydra_heads,
+                    "crawler": spec.run_crawler,
+                },
+            )
+        )
+
+
+# -- stress scenarios ---------------------------------------------------------------
+
+#: class shares of a one-time-dominated crowd population
+FLASH_CROWD_SHARES: Dict[PeerClass, float] = {
+    PeerClass.HEAVY: 0.10,
+    PeerClass.NORMAL: 0.18,
+    PeerClass.LIGHT: 0.22,
+    PeerClass.ONE_TIME: 0.50,
+}
+FLASH_CROWD_INTENSITY = 6.0
+FLASH_CROWD_ARRIVAL_SHARE = 0.85
+#: crowd peers arrive *looking for* content near the vantage point: they
+#: discover it ~3x faster than the organic population
+FLASH_CROWD_DISCOVERY_SCALE = 0.3
+
+DIURNAL_AMPLITUDE = 0.6
+DIURNAL_PEAK = 18 * HOUR
+
+MASS_OUTAGE_REGION_SHARE = 0.45
+
+CLIENT_HEAVY_SERVER_FACTOR = 0.15
+CLIENT_HEAVY_NAT_SHARE = 0.70
+
+HYDRA_SCALING_HEADS = 6
+
+
+def _burst_window(duration: float) -> tuple:
+    """Burst placement shared by the flash-crowd scenarios: starts at 30 % of
+    the window and lasts a quarter of it (capped at two hours)."""
+    burst_start = duration * 0.30
+    burst_duration = min(2 * HOUR, max(duration * 0.25, 60.0))
+    return burst_start, burst_duration
+
+
+def _flash_crowd_factory(burst_start: float, burst_duration: float):
+    def factory(peer_class: PeerClass, rng: random.Random) -> ChurnModel:
+        return FlashCrowdChurnModel(
+            base=default_session_model(peer_class, rng),
+            burst_start=burst_start,
+            burst_duration=burst_duration,
+            intensity=FLASH_CROWD_INTENSITY,
+            arrival_share=FLASH_CROWD_ARRIVAL_SHARE,
+        )
+
+    return factory
+
+
+def _server_vantage(low_water: int, high_water: int, n_peers: int) -> IpfsConfig:
+    low, high = scale_watermarks(low_water, high_water, n_peers)
+    return IpfsConfig(low_water=low, high_water=high, dht_mode=DHTMode.SERVER)
+
+
+def _flash_crowd(n_peers: int, duration_days: float, seed: int) -> ScenarioConfig:
+    duration = duration_days * DAY
+    burst_start, burst_duration = _burst_window(duration)
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        class_shares=dict(FLASH_CROWD_SHARES),
+        churn_model_factory=_flash_crowd_factory(burst_start, burst_duration),
+        discovery_scale=FLASH_CROWD_DISCOVERY_SCALE,
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        seed=seed,
+    )
+
+
+def _diurnal_factory(peer_class: PeerClass, rng: random.Random) -> ChurnModel:
+    return DiurnalChurnModel(
+        base=default_session_model(peer_class, rng),
+        amplitude=DIURNAL_AMPLITUDE,
+        peak_time=DIURNAL_PEAK,
+    )
+
+
+def _diurnal_week(n_peers: int, duration_days: float, seed: int) -> ScenarioConfig:
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        churn_model_factory=_diurnal_factory,
+    )
+    return ScenarioConfig(
+        duration=duration_days * DAY,
+        population=population,
+        go_ipfs=_server_vantage(18_000, 20_000, n_peers),
+        seed=seed,
+    )
+
+
+def _mass_outage_factory(outage_start: float, outage_duration: float):
+    def factory(peer_class: PeerClass, rng: random.Random) -> ChurnModel:
+        base = default_session_model(peer_class, rng)
+        if rng.random() >= MASS_OUTAGE_REGION_SHARE:
+            return base
+        return MassOutageChurnModel(
+            base=base,
+            outage_start=outage_start,
+            outage_duration=outage_duration,
+        )
+
+    return factory
+
+
+def _mass_outage(n_peers: int, duration_days: float, seed: int) -> ScenarioConfig:
+    duration = duration_days * DAY
+    outage_start = duration * 0.40
+    outage_duration = max(duration * 0.15, 60.0)
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        churn_model_factory=_mass_outage_factory(outage_start, outage_duration),
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        seed=seed,
+    )
+
+
+def _client_heavy(n_peers: int, duration_days: float, seed: int) -> ScenarioConfig:
+    base = PopulationConfig.scaled_to_paper(n_peers, seed=seed)
+    population = replace(
+        base,
+        server_share_per_class={
+            cls: share * CLIENT_HEAVY_SERVER_FACTOR
+            for cls, share in base.server_share_per_class.items()
+        },
+        nat_share=CLIENT_HEAVY_NAT_SHARE,
+    )
+    return ScenarioConfig(
+        duration=duration_days * DAY,
+        population=population,
+        go_ipfs=_server_vantage(600, 900, n_peers),
+        seed=seed,
+    )
+
+
+def _hydra_scaling(n_peers: int, duration_days: float, seed: int) -> ScenarioConfig:
+    low, high = scale_watermarks(HYDRA_BASE_LOW_WATER, HYDRA_BASE_HIGH_WATER, n_peers)
+    return ScenarioConfig(
+        duration=duration_days * DAY,
+        population=PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        go_ipfs=None,
+        hydra_heads=HYDRA_SCALING_HEADS,
+        hydra_low_water=low,
+        hydra_high_water=high,
+        seed=seed,
+    )
+
+
+def _crawler_vs_passive_under_burst(
+    n_peers: int, duration_days: float, seed: int
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    burst_start, burst_duration = _burst_window(duration)
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        class_shares=dict(FLASH_CROWD_SHARES),
+        churn_model_factory=_flash_crowd_factory(burst_start, burst_duration),
+        discovery_scale=FLASH_CROWD_DISCOVERY_SCALE,
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(18_000, 20_000, n_peers),
+        run_crawler=True,
+        # Crawl often enough that at least one crawl lands inside the burst
+        # even for heavily compressed sweep durations.
+        crawl_interval=max(duration / 3.0, 600.0),
+        seed=seed,
+    )
+
+
+def _register_stress_scenarios() -> None:
+    register(
+        ScenarioSpec(
+            name="flash-crowd",
+            description=(
+                "A one-time-heavy population floods in during a burst window "
+                "(arrivals concentrated, reconnects accelerated)"
+            ),
+            builder=_flash_crowd,
+            tags=("stress", "burst"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "one_time_share": FLASH_CROWD_SHARES[PeerClass.ONE_TIME],
+                "intensity": FLASH_CROWD_INTENSITY,
+                "arrival_share": FLASH_CROWD_ARRIVAL_SHARE,
+                "discovery_scale": FLASH_CROWD_DISCOVERY_SCALE,
+                "burst": "30 % into the window, 25 % long (≤ 2 h)",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="diurnal-week",
+            description=(
+                "Sine-modulated day/night activity over a multi-day window "
+                "(peak 18:00, trough 06:00)"
+            ),
+            builder=_diurnal_week,
+            tags=("stress", "diurnal"),
+            default_peers=600,
+            default_duration_days=2.0,
+            knobs={
+                "amplitude": DIURNAL_AMPLITUDE,
+                "peak_time": "18 h",
+                "watermarks": "18000/20000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="mass-outage",
+            description=(
+                "A correlated region failure drops ~45 % of peers mid-window, "
+                "followed by a reconnect stampede"
+            ),
+            builder=_mass_outage,
+            tags=("stress", "outage"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "region_share": MASS_OUTAGE_REGION_SHARE,
+                "outage": "40 % into the window, 15 % long",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="client-heavy",
+            description=(
+                "A DHT-Client-dominated, heavily NATed population against a "
+                "default-watermark (600/900) server vantage point"
+            ),
+            builder=_client_heavy,
+            tags=("stress", "composition"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "server_share_factor": CLIENT_HEAVY_SERVER_FACTOR,
+                "nat_share": CLIENT_HEAVY_NAT_SHARE,
+                "watermarks": "600/900 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="hydra-scaling",
+            description=(
+                f"A {HYDRA_SCALING_HEADS}-head hydra as the only vantage point "
+                "(head-count scaling of the union dataset)"
+            ),
+            builder=_hydra_scaling,
+            tags=("stress", "hydra"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "hydra_heads": HYDRA_SCALING_HEADS,
+                "watermarks": "15000/20000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="crawler-vs-passive-under-burst",
+            description=(
+                "The active crawler baseline races the passive vantage point "
+                "through a flash crowd (crawls every third of the window)"
+            ),
+            builder=_crawler_vs_passive_under_burst,
+            tags=("stress", "burst", "crawler"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "one_time_share": FLASH_CROWD_SHARES[PeerClass.ONE_TIME],
+                "intensity": FLASH_CROWD_INTENSITY,
+                "discovery_scale": FLASH_CROWD_DISCOVERY_SCALE,
+                "crawl_interval": "duration/3 (≥ 10 min)",
+                "watermarks": "18000/20000 scaled",
+            },
+        )
+    )
+
+
+_register_paper_periods()
+_register_stress_scenarios()

@@ -1,0 +1,115 @@
+"""The scenario registry: named, sweepable workload definitions.
+
+A :class:`ScenarioSpec` is a declarative entry — a name, a description, the
+knobs it exposes, and a builder that maps ``(n_peers, duration_days, seed)``
+onto a :class:`~repro.simulation.scenario.ScenarioConfig`.  Everything that
+runs a workload (the sweep CLI, benchmarks, tests, examples) resolves
+scenarios by name through this registry, so a new workload is one
+``register()`` call instead of a new script.
+
+The catalog module registers the six paper measurement periods plus the
+stress scenarios at import time; :func:`run_scenario_by_name` is the
+module-level (and therefore picklable) unit of work the process-parallel
+sweep runner fans out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.simulation.scenario import Scenario, ScenarioConfig, ScenarioResult
+
+#: builds the scenario config for one sweep cell: (n_peers, duration_days, seed)
+ScenarioBuilder = Callable[[int, float, int], ScenarioConfig]
+
+_REGISTRY: Dict[str, "ScenarioSpec"] = {}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, sweepable scenario."""
+
+    name: str
+    description: str
+    builder: ScenarioBuilder
+    #: coarse grouping used by listings ("paper" vs "stress")
+    tags: Tuple[str, ...] = ()
+    default_peers: int = 500
+    default_duration_days: float = 0.25
+    #: human-readable knob values, rendered by ``--list`` and the README table
+    knobs: Mapping[str, object] = field(default_factory=dict)
+
+    def build(
+        self,
+        n_peers: Optional[int] = None,
+        duration_days: Optional[float] = None,
+        seed: int = 7,
+    ) -> ScenarioConfig:
+        """Resolve defaults and build the runnable scenario config."""
+        peers = n_peers if n_peers is not None else self.default_peers
+        days = duration_days if duration_days is not None else self.default_duration_days
+        return self.builder(peers, days, seed)
+
+
+def normalize_name(name: str) -> str:
+    return name.strip().lower()
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the registry; names are case-insensitive and unique."""
+    key = normalize_name(spec.name)
+    if key != spec.name:
+        raise ValueError(f"scenario names must be lowercase, got {spec.name!r}")
+    if key in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[key] = spec
+    return spec
+
+
+def scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name (case-insensitive)."""
+    key = normalize_name(name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def scenario_names(tag: Optional[str] = None) -> List[str]:
+    """All registered names in registration order, optionally filtered by tag."""
+    return [
+        spec.name
+        for spec in _REGISTRY.values()
+        if tag is None or tag in spec.tags
+    ]
+
+
+def scenarios(tag: Optional[str] = None) -> List[ScenarioSpec]:
+    return [spec for spec in _REGISTRY.values() if tag is None or tag in spec.tags]
+
+
+def build_scenario_config(
+    name: str,
+    n_peers: Optional[int] = None,
+    duration_days: Optional[float] = None,
+    seed: int = 7,
+) -> ScenarioConfig:
+    """Resolve ``name`` and build its config (defaults from the spec)."""
+    return scenario(name).build(n_peers=n_peers, duration_days=duration_days, seed=seed)
+
+
+def run_scenario_by_name(
+    name: str,
+    n_peers: Optional[int] = None,
+    duration_days: Optional[float] = None,
+    seed: int = 7,
+) -> ScenarioResult:
+    """Build and run one registered scenario.
+
+    Module-level so the process-parallel sweep runner can ship
+    ``(name, peers, days, seed)`` tuples to workers instead of pickling
+    configs with closures in them.
+    """
+    return Scenario(build_scenario_config(name, n_peers, duration_days, seed)).run()

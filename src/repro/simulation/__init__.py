@@ -10,20 +10,28 @@ the remote peers all run against the same simulated clock.
 
 from repro.simulation.engine import Engine, Event
 from repro.simulation.churn_models import (
+    ChurnModel,
+    DiurnalChurnModel,
     ExponentialDistribution,
     FixedDistribution,
+    FlashCrowdChurnModel,
     LogNormalDistribution,
+    MassOutageChurnModel,
     ParetoDistribution,
     SessionModel,
+    TraceReplayChurnModel,
     UniformDistribution,
     WeibullDistribution,
+    pareto_session,
 )
 from repro.simulation.agents import AgentCatalog, GoIpfsVersion, parse_goipfs_agent
 from repro.simulation.population import (
+    ChurnModelFactory,
     PeerClass,
     PeerProfile,
     Population,
     PopulationConfig,
+    default_session_model,
     generate_population,
 )
 from repro.simulation.network import SimulatedNetwork, MeasurementIdentity
@@ -32,13 +40,20 @@ from repro.simulation.scenario import Scenario, ScenarioConfig, ScenarioResult
 __all__ = [
     "Engine",
     "Event",
+    "ChurnModel",
+    "ChurnModelFactory",
+    "DiurnalChurnModel",
     "ExponentialDistribution",
     "FixedDistribution",
+    "FlashCrowdChurnModel",
     "LogNormalDistribution",
+    "MassOutageChurnModel",
     "ParetoDistribution",
+    "TraceReplayChurnModel",
     "UniformDistribution",
     "WeibullDistribution",
     "SessionModel",
+    "pareto_session",
     "AgentCatalog",
     "GoIpfsVersion",
     "parse_goipfs_agent",
@@ -46,6 +61,7 @@ __all__ = [
     "PeerProfile",
     "Population",
     "PopulationConfig",
+    "default_session_model",
     "generate_population",
     "SimulatedNetwork",
     "MeasurementIdentity",

@@ -7,14 +7,22 @@ coarse-graining of that behaviour as seen through connection records.  The
 distributions here drive the ground-truth session behaviour of the synthetic
 population; the analysis code then has to *recover* the classification from
 the recorded connections, the same way the paper does.
+
+Beyond the stationary :class:`SessionModel` the module provides a small
+library of non-stationary churn models behind one :class:`ChurnModel`
+protocol — diurnal sine-modulated activity, flash-crowd bursts, correlated
+mass outages, heavy-tailed Pareto sessions, and replay of recorded session
+traces.  The network fabric only talks to the protocol, so a scenario swaps
+churn regimes by swapping the model on the peer profiles.
 """
 
 from __future__ import annotations
 
+import csv
 import math
 import random
 from dataclasses import dataclass
-from typing import Optional, Protocol, Tuple
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 DAY = 86_400.0
 HOUR = 3_600.0
@@ -143,6 +151,29 @@ class ParetoDistribution:
         return self.alpha * self.xm / (self.alpha - 1.0)
 
 
+class ChurnModel(Protocol):
+    """What the network fabric needs from a peer's churn behaviour.
+
+    :class:`SessionModel` is the stationary reference implementation; the
+    non-stationary models below modulate it by the simulation clock ``now``
+    (seconds since measurement start).  Implementations may additionally
+    provide ``arrival_time(rng, duration)`` to place a one-time peer's single
+    appearance inside the measurement window (defaults to a uniform draw done
+    by the network fabric when the hook is absent).
+    """
+
+    max_sessions: Optional[int]
+
+    def initial_state(self, rng: random.Random) -> Tuple[bool, float]:  # pragma: no cover - protocol
+        ...
+
+    def next_uptime(self, rng: random.Random, now: float = 0.0) -> float:  # pragma: no cover - protocol
+        ...
+
+    def next_downtime(self, rng: random.Random, now: float = 0.0) -> float:  # pragma: no cover - protocol
+        ...
+
+
 @dataclass(frozen=True)
 class SessionModel:
     """Alternating online/offline behaviour of a peer.
@@ -167,10 +198,10 @@ class SessionModel:
         duration = self.uptime.sample(rng) if online else self.downtime.sample(rng)
         return online, duration
 
-    def next_uptime(self, rng: random.Random) -> float:
+    def next_uptime(self, rng: random.Random, now: float = 0.0) -> float:
         return self.uptime.sample(rng)
 
-    def next_downtime(self, rng: random.Random) -> float:
+    def next_downtime(self, rng: random.Random, now: float = 0.0) -> float:
         return self.downtime.sample(rng)
 
 
@@ -211,3 +242,264 @@ def one_time_session(rng_sessions: int = 1) -> SessionModel:
         max_sessions=rng_sessions,
         initially_online_probability=0.0,
     )
+
+
+def pareto_session(
+    mean_uptime: float,
+    mean_downtime: float,
+    alpha: float = 1.5,
+    initially_online_probability: float = 0.5,
+) -> SessionModel:
+    """Heavy-tailed sessions: Pareto uptime *and* downtime with the given means.
+
+    ``alpha`` must exceed 1 so the requested means are finite; smaller alpha
+    means a heavier tail (more mass in very long sessions/absences).
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 for a finite mean")
+    if mean_uptime <= 0 or mean_downtime <= 0:
+        raise ValueError("means must be positive")
+    factor = (alpha - 1.0) / alpha
+    return SessionModel(
+        uptime=ParetoDistribution(xm=mean_uptime * factor, alpha=alpha),
+        downtime=ParetoDistribution(xm=mean_downtime * factor, alpha=alpha),
+        initially_online_probability=initially_online_probability,
+    )
+
+
+# -- non-stationary churn models ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiurnalChurnModel:
+    """Sine-modulated activity: short downtimes near the daily peak, long ones
+    off-peak (and symmetrically longer/shorter uptimes).
+
+    The activity factor at simulation time ``t`` is
+    ``1 + amplitude * cos(2π (t - peak_time) / period)``; uptimes are
+    multiplied by it (their mean over one full cycle matches the base model),
+    downtimes divided by it (shortest at the peak, longest at the trough).
+    """
+
+    base: SessionModel
+    amplitude: float = 0.5
+    period: float = DAY
+    peak_time: float = 18 * HOUR
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    @property
+    def max_sessions(self) -> Optional[int]:
+        return self.base.max_sessions
+
+    def activity(self, now: float) -> float:
+        """The instantaneous activity factor (in ``[1 - a, 1 + a]``)."""
+        phase = 2.0 * math.pi * (now - self.peak_time) / self.period
+        return 1.0 + self.amplitude * math.cos(phase)
+
+    def initial_state(self, rng: random.Random) -> Tuple[bool, float]:
+        return self.base.initial_state(rng)
+
+    def next_uptime(self, rng: random.Random, now: float = 0.0) -> float:
+        return self.base.next_uptime(rng) * self.activity(now)
+
+    def next_downtime(self, rng: random.Random, now: float = 0.0) -> float:
+        return self.base.next_downtime(rng) / self.activity(now)
+
+
+@dataclass(frozen=True)
+class FlashCrowdChurnModel:
+    """A burst window during which peers arrive and return much faster.
+
+    Inside ``[burst_start, burst_start + burst_duration)`` downtimes shrink by
+    ``intensity``; one-time peers concentrate their single appearance inside
+    the window with probability ``arrival_share`` (via the ``arrival_time``
+    hook the network fabric consults for one-time peers).
+    """
+
+    base: SessionModel
+    burst_start: float
+    burst_duration: float
+    intensity: float = 8.0
+    arrival_share: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.burst_start < 0 or self.burst_duration <= 0:
+            raise ValueError("burst window must be non-negative and non-empty")
+        if self.intensity < 1.0:
+            raise ValueError("intensity must be >= 1")
+        if not 0.0 <= self.arrival_share <= 1.0:
+            raise ValueError("arrival_share must be in [0, 1]")
+
+    @property
+    def max_sessions(self) -> Optional[int]:
+        return self.base.max_sessions
+
+    def in_burst(self, now: float) -> bool:
+        return self.burst_start <= now < self.burst_start + self.burst_duration
+
+    def initial_state(self, rng: random.Random) -> Tuple[bool, float]:
+        return self.base.initial_state(rng)
+
+    def next_uptime(self, rng: random.Random, now: float = 0.0) -> float:
+        return self.base.next_uptime(rng)
+
+    def next_downtime(self, rng: random.Random, now: float = 0.0) -> float:
+        downtime = self.base.next_downtime(rng)
+        if self.in_burst(now):
+            return downtime / self.intensity
+        return downtime
+
+    def arrival_time(self, rng: random.Random, duration: float) -> float:
+        """First-appearance time of a one-time peer within ``duration``."""
+        window_start = min(self.burst_start, duration)
+        window_end = min(self.burst_start + self.burst_duration, duration)
+        if rng.random() < self.arrival_share and window_end > window_start:
+            return rng.uniform(window_start, window_end)
+        return rng.uniform(0.0, duration * 0.95)
+
+
+@dataclass(frozen=True)
+class MassOutageChurnModel:
+    """A correlated outage: affected peers all drop at ``outage_start`` and
+    stay away until ``outage_start + outage_duration`` (region failure, ISP or
+    cloud-provider incident).
+
+    Uptimes that would span the outage start are truncated so the peer drops
+    exactly when the outage hits; downtimes that would end inside the outage
+    are extended past its end plus a small ``recovery_spread`` jitter, which
+    models the (partially synchronised) reconnect stampede afterwards.
+    """
+
+    base: SessionModel
+    outage_start: float
+    outage_duration: float
+    recovery_spread: float = 10 * MINUTE
+
+    def __post_init__(self) -> None:
+        if self.outage_start < 0 or self.outage_duration <= 0:
+            raise ValueError("outage window must be non-negative and non-empty")
+        if self.recovery_spread < 0:
+            raise ValueError("recovery_spread must be non-negative")
+
+    @property
+    def max_sessions(self) -> Optional[int]:
+        return self.base.max_sessions
+
+    @property
+    def outage_end(self) -> float:
+        return self.outage_start + self.outage_duration
+
+    def in_outage(self, now: float) -> bool:
+        return self.outage_start <= now < self.outage_end
+
+    def initial_state(self, rng: random.Random) -> Tuple[bool, float]:
+        online, duration = self.base.initial_state(rng)
+        if online and duration > self.outage_start:
+            duration = max(1.0, self.outage_start)
+        return online, duration
+
+    def next_uptime(self, rng: random.Random, now: float = 0.0) -> float:
+        if self.in_outage(now):
+            # Should not come online mid-outage; if scheduled to, flap briefly.
+            return MINUTE
+        uptime = self.base.next_uptime(rng)
+        if now < self.outage_start < now + uptime:
+            return self.outage_start - now
+        return uptime
+
+    def next_downtime(self, rng: random.Random, now: float = 0.0) -> float:
+        downtime = self.base.next_downtime(rng)
+        end = now + downtime
+        if now < self.outage_end and end > self.outage_start and end < self.outage_end:
+            return (self.outage_end - now) + rng.uniform(0.0, self.recovery_spread)
+        return downtime
+
+
+class TraceReplayChurnModel:
+    """Replays recorded session/intersession intervals (e.g. from a live
+    measurement exported as CSV).
+
+    Each peer should get its own instance (see :meth:`spawn`) so peers walk
+    the trace from different offsets; samples cycle when the trace is
+    exhausted.  Replay is deterministic: the RNG is only used to pick the
+    initial online state.
+    """
+
+    def __init__(
+        self,
+        sessions: Sequence[float],
+        intersessions: Sequence[float],
+        offset: int = 0,
+        max_sessions: Optional[int] = None,
+        initially_online_probability: float = 0.5,
+    ) -> None:
+        if not sessions or not intersessions:
+            raise ValueError("trace needs at least one session and one intersession")
+        for value in list(sessions) + list(intersessions):
+            if not math.isfinite(value) or value <= 0:
+                raise ValueError(f"trace intervals must be positive and finite, got {value!r}")
+        self.sessions: List[float] = list(sessions)
+        self.intersessions: List[float] = list(intersessions)
+        self.max_sessions = max_sessions
+        self.initially_online_probability = initially_online_probability
+        self._up_cursor = offset % len(self.sessions)
+        self._down_cursor = offset % len(self.intersessions)
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str,
+        session_column: str = "session",
+        intersession_column: str = "intersession",
+        **kwargs,
+    ) -> "TraceReplayChurnModel":
+        """Load a trace from a CSV with session/intersession columns (seconds)."""
+        sessions: List[float] = []
+        intersessions: List[float] = []
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None or session_column not in reader.fieldnames:
+                raise ValueError(
+                    f"trace CSV {path!r} needs columns "
+                    f"{session_column!r} and {intersession_column!r}"
+                )
+            for row in reader:
+                sessions.append(float(row[session_column]))
+                intersessions.append(float(row[intersession_column]))
+        return cls(sessions, intersessions, **kwargs)
+
+    def spawn(self, rng: random.Random) -> "TraceReplayChurnModel":
+        """A fresh per-peer instance starting at an RNG-chosen trace offset."""
+        return TraceReplayChurnModel(
+            self.sessions,
+            self.intersessions,
+            offset=rng.randrange(len(self.sessions)),
+            max_sessions=self.max_sessions,
+            initially_online_probability=self.initially_online_probability,
+        )
+
+    def mean_uptime(self) -> float:
+        return sum(self.sessions) / len(self.sessions)
+
+    def mean_downtime(self) -> float:
+        return sum(self.intersessions) / len(self.intersessions)
+
+    def initial_state(self, rng: random.Random) -> Tuple[bool, float]:
+        online = rng.random() < self.initially_online_probability
+        duration = self.next_uptime(rng) if online else self.next_downtime(rng)
+        return online, duration
+
+    def next_uptime(self, rng: random.Random, now: float = 0.0) -> float:
+        value = self.sessions[self._up_cursor]
+        self._up_cursor = (self._up_cursor + 1) % len(self.sessions)
+        return value
+
+    def next_downtime(self, rng: random.Random, now: float = 0.0) -> float:
+        value = self.intersessions[self._down_cursor]
+        self._down_cursor = (self._down_cursor + 1) % len(self.intersessions)
+        return value

@@ -267,7 +267,13 @@ class SimulatedNetwork:
         if profile.peer_class is PeerClass.ONE_TIME:
             # One-time peers appear once, spread over the whole window: this is
             # what makes the number of known PIDs grow continuously (Fig. 6).
-            delay = self.rng.uniform(0.0, duration * 0.95)
+            # Churn models may place the appearance themselves (flash crowds
+            # concentrate arrivals inside their burst window).
+            arrival = getattr(profile.session_model, "arrival_time", None)
+            if arrival is not None:
+                delay = arrival(self.rng, duration)
+            else:
+                delay = self.rng.uniform(0.0, duration * 0.95)
             self.engine.schedule(delay, self._session_start, peer)
             return
         online, first_change = profile.session_model.initial_state(self.rng)
@@ -281,7 +287,7 @@ class SimulatedNetwork:
         max_sessions = profile.session_model.max_sessions
         if max_sessions is not None and peer.sessions_started >= max_sessions:
             return
-        uptime = profile.session_model.next_uptime(self.rng)
+        uptime = profile.session_model.next_uptime(self.rng, self.engine.now)
         self._session_start_now(peer, self.engine.now, uptime)
 
     def _session_start_now(self, peer: SimPeer, now: float, uptime: float) -> None:
@@ -320,7 +326,7 @@ class SimulatedNetwork:
         max_sessions = profile.session_model.max_sessions
         if max_sessions is not None and peer.sessions_started >= max_sessions:
             return
-        downtime = profile.session_model.next_downtime(self.rng)
+        downtime = profile.session_model.next_downtime(self.rng, now)
         self.engine.schedule(downtime, self._session_start, peer)
 
     # --------------------------------------------------------------- contacts ----

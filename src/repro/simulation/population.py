@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.kademlia.dht import DHTMode
 from repro.libp2p.multiaddr import random_public_ipv4
@@ -39,12 +39,17 @@ from repro.simulation.churn_models import (
     DAY,
     HOUR,
     MINUTE,
+    ChurnModel,
     SessionModel,
     always_on_session,
     light_session,
     normal_session,
     one_time_session,
 )
+
+#: builds the churn model for one general-population peer; receives the
+#: peer's ground-truth class and the population RNG
+ChurnModelFactory = Callable[["PeerClass", random.Random], ChurnModel]
 
 
 class PeerClass(enum.Enum):
@@ -76,7 +81,7 @@ class PeerProfile:
     protocols: Set[str]
     public_ip: str
     behind_nat: bool
-    session_model: SessionModel
+    session_model: ChurnModel
     # identity management
     rotates_pid: bool = False              # fresh PID every session
     # meta-data dynamics
@@ -167,12 +172,23 @@ class PopulationConfig:
     server_keep_probability: float = 0.35  # how often a remote keeps a conn to a DHT-Server
     client_keep_probability: float = 0.05  # ... to a DHT-Client measurement node
 
+    #: overrides the per-class session models of the general population (the
+    #: stress scenarios plug diurnal/flash-crowd/outage/trace models in here);
+    #: ``None`` keeps the paper-calibrated class defaults
+    churn_model_factory: Optional[ChurnModelFactory] = None
+    #: multiplies every general-population peer's mean time-to-discover a
+    #: measurement identity (< 1: peers find the vantage point faster, the
+    #: flash-crowd regime; > 1: a poorly connected vantage point)
+    discovery_scale: float = 1.0
+
     def __post_init__(self) -> None:
         if self.n_peers <= 0:
             raise ValueError("n_peers must be positive")
         share_sum = sum(self.class_shares.values())
         if abs(share_sum - 1.0) > 1e-6:
             raise ValueError(f"class shares must sum to 1, got {share_sum}")
+        if self.discovery_scale <= 0:
+            raise ValueError(f"discovery_scale must be positive, got {self.discovery_scale}")
 
     @classmethod
     def scaled_to_paper(cls, n_peers: int, seed: int = 7) -> "PopulationConfig":
@@ -238,7 +254,8 @@ class Population:
 # ---------------------------------------------------------------------------------
 
 
-def _session_model_for(peer_class: PeerClass, rng: random.Random) -> SessionModel:
+def default_session_model(peer_class: PeerClass, rng: random.Random) -> SessionModel:
+    """The paper-calibrated stationary session model for one behaviour class."""
     if peer_class is PeerClass.HEAVY:
         return always_on_session()
     if peer_class is PeerClass.NORMAL:
@@ -390,6 +407,7 @@ def generate_population(config: PopulationConfig, rng: Optional[random.Random] =
         shared_ip_pool.append(random_public_ipv4(rng))
 
     # -- the general population ---------------------------------------------------------
+    churn_factory = config.churn_model_factory or default_session_model
     while index < config.n_peers:
         peer_class = _sample_class(config, rng)
         server_share = config.server_share_per_class[peer_class]
@@ -420,6 +438,9 @@ def generate_population(config: PopulationConfig, rng: Optional[random.Random] =
             public_ip = random_public_ipv4(rng)
 
         keep, reconnect_mean, discovery_mean = _connection_knobs(peer_class, config, rng)
+        # Applied outside the rng draws so the default of 1.0 leaves the
+        # draw sequence — and therefore every fixed-seed golden — unchanged.
+        discovery_mean *= config.discovery_scale
 
         version_behavior = VersionBehavior.STABLE
         if sample.is_goipfs:
@@ -440,7 +461,7 @@ def generate_population(config: PopulationConfig, rng: Optional[random.Random] =
                 protocols=protocols,
                 public_ip=public_ip,
                 behind_nat=behind_nat,
-                session_model=_session_model_for(peer_class, rng),
+                session_model=churn_factory(peer_class, rng),
                 rotates_pid=rng.random() < config.pid_rotation_share[peer_class],
                 version_behavior=version_behavior,
                 flips_role=is_server and rng.random() < config.role_flip_share,

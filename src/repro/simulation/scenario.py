@@ -59,8 +59,22 @@ class ScenarioConfig:
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ValueError("duration must be positive")
-        if self.go_ipfs is None and self.hydra_heads <= 0:
+        if self.hydra_heads < 0:
+            raise ValueError(f"hydra_heads must be >= 0, got {self.hydra_heads}")
+        if self.go_ipfs is None and self.hydra_heads == 0:
             raise ValueError("a scenario needs at least one measurement vantage point")
+        if self.hydra_heads > 0:
+            low, high = self.hydra_low_water, self.hydra_high_water
+            if low is not None and low <= 0:
+                raise ValueError(f"hydra_low_water must be positive, got {low}")
+            if high is not None and high <= 0:
+                raise ValueError(f"hydra_high_water must be positive, got {high}")
+            if low is not None and high is not None and high < low:
+                raise ValueError(
+                    f"hydra watermarks must satisfy low <= high, got {low}/{high}"
+                )
+        if self.run_crawler and self.crawl_interval <= 0:
+            raise ValueError(f"crawl_interval must be positive, got {self.crawl_interval}")
 
 
 @dataclass

@@ -1,0 +1,243 @@
+"""Cartesian scenario sweeps: ``python -m repro.sweep``.
+
+Runs every combination of the requested scenarios × seeds × population sizes
+through the registry, one simulation per cell, optionally fanned out over
+worker processes (the same pool the parallel period runner uses).  Each cell
+writes one JSON summary; the sweep writes an aggregate JSON plus a rendered
+table.  All artifacts are deterministic — no timestamps, no wall-clock
+fields — so two sweeps with the same flags produce byte-identical files.
+
+Examples::
+
+    python -m repro.sweep --list
+    python -m repro.sweep --scenarios p1,flash-crowd --seeds 7,8 \\
+        --peers 50 --duration 0.02d
+    REPRO_BENCH_WORKERS=4 python -m repro.sweep \\
+        --scenarios p0,p1,p2,p3,p4,p14 --seeds 7 --peers 400 --duration 0.1d
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.sweep_report import (
+    CELL_SCHEMA,
+    aggregate_payload,
+    render_aggregate,
+)
+from repro.analysis.tables import TextTable
+from repro.core.churn import connection_statistics, trim_share
+from repro.experiments.runner import run_cells
+from repro.perf import dataset_counts
+from repro.scenarios import run_scenario_by_name, scenario, scenarios
+
+#: default output directory of sweep artifacts
+DEFAULT_OUT_DIR = "sweep_out"
+
+
+def parse_duration_days(text: str) -> float:
+    """Parse a duration flag: ``0.02d`` (days), ``12h``, ``1800s``, or a bare
+    number of days."""
+    raw = text.strip().lower()
+    factor = 1.0
+    if raw.endswith("d"):
+        raw = raw[:-1]
+    elif raw.endswith("h"):
+        raw, factor = raw[:-1], 1.0 / 24.0
+    elif raw.endswith("s"):
+        raw, factor = raw[:-1], 1.0 / 86_400.0
+    try:
+        days = float(raw) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid duration {text!r} (expected e.g. 0.02d, 12h, 1800s)"
+        ) from None
+    if days <= 0:
+        raise argparse.ArgumentTypeError(f"duration must be positive, got {text!r}")
+    return days
+
+
+def _parse_int_list(text: str, flag: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid {flag} list: {text!r}") from None
+
+
+def summarize_cell(
+    name: str,
+    n_peers: Optional[int],
+    duration_days: Optional[float],
+    seed: int,
+) -> Dict:
+    """Run one sweep cell and reduce it to a deterministic summary dict.
+
+    Module-level so the process pool can ship cells to workers by reference;
+    the full :class:`ScenarioResult` stays in the worker, only the summary
+    comes back.
+    """
+    spec = scenario(name)
+    peers = n_peers if n_peers is not None else spec.default_peers
+    days = duration_days if duration_days is not None else spec.default_duration_days
+    result = run_scenario_by_name(name, n_peers=peers, duration_days=days, seed=seed)
+
+    churn: Dict[str, Dict[str, float]] = {}
+    for label in sorted(result.datasets):
+        dataset = result.datasets[label]
+        if not dataset.connections:
+            churn[label] = {"avg_duration": 0.0, "median_duration": 0.0, "trim_share": 0.0}
+            continue
+        report = connection_statistics(dataset)
+        churn[label] = {
+            "avg_duration": round(report.all_stats.average, 6),
+            "median_duration": round(report.all_stats.median_value, 6),
+            "trim_share": round(trim_share(report), 6),
+        }
+
+    return {
+        "schema": CELL_SCHEMA,
+        "scenario": spec.name,
+        "n_peers": peers,
+        "duration_days": days,
+        "seed": seed,
+        "events_processed": result.events_processed,
+        "version_changes": result.version_changes,
+        "role_flips": result.role_flips,
+        "autonat_flips": result.autonat_flips,
+        "queries_sent": sum(s.queries_sent for s in result.crawls.snapshots),
+        "crawls": len(result.crawls.snapshots),
+        "datasets": dataset_counts(result),
+        "churn": churn,
+    }
+
+
+def cell_filename(summary: Dict) -> str:
+    return f"{summary['scenario']}__n{summary['n_peers']}__s{summary['seed']}.json"
+
+
+def _write_json(path: str, payload: Dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def run_sweep(
+    scenario_names: Sequence[str],
+    seeds: Sequence[int],
+    peers_list: Sequence[Optional[int]],
+    duration_days: Optional[float],
+    out_dir: str,
+    workers: Optional[int] = None,
+) -> List[Dict]:
+    """Run the cartesian sweep and write all artifacts into ``out_dir``.
+
+    Cell order (and therefore aggregate order) is scenarios × populations ×
+    seeds as given — deterministic for a given flag set even when the cells
+    themselves run in parallel workers.
+    """
+    for name in scenario_names:
+        scenario(name)  # fail fast on unknown names, before any simulation
+    cells = [
+        (name, peers, duration_days, seed)
+        for name in scenario_names
+        for peers in peers_list
+        for seed in seeds
+    ]
+    summaries: List[Dict] = run_cells(summarize_cell, cells, workers)
+
+    os.makedirs(out_dir, exist_ok=True)
+    for summary in summaries:
+        _write_json(os.path.join(out_dir, cell_filename(summary)), summary)
+    _write_json(os.path.join(out_dir, "sweep_summary.json"), aggregate_payload(summaries))
+    with open(os.path.join(out_dir, "sweep_table.txt"), "w") as handle:
+        handle.write(render_aggregate(summaries))
+    return summaries
+
+
+def catalog_table() -> TextTable:
+    """The ``--list`` output: every registered scenario and its knobs."""
+    table = TextTable(
+        headers=["Name", "Tags", "Peers", "Days", "Description", "Knobs"],
+        title="Registered scenarios",
+    )
+    for spec in scenarios():
+        knobs = ", ".join(f"{k}={v}" for k, v in spec.knobs.items())
+        table.add_row(
+            spec.name,
+            ",".join(spec.tags),
+            spec.default_peers,
+            f"{spec.default_duration_days:g}",
+            spec.description,
+            knobs,
+        )
+    return table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Run a cartesian sweep of registered scenarios × seeds × populations.",
+    )
+    parser.add_argument(
+        "--scenarios",
+        help="comma-separated registered scenario names (see --list)",
+    )
+    parser.add_argument(
+        "--seeds", default="7",
+        help="comma-separated simulation seeds (default: 7)",
+    )
+    parser.add_argument(
+        "--peers", default=None,
+        help="comma-separated population sizes (default: each scenario's own)",
+    )
+    parser.add_argument(
+        "--duration", type=parse_duration_days, default=None,
+        help="simulated duration per cell, e.g. 0.02d, 12h, 1800s "
+             "(default: each scenario's own)",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT_DIR,
+        help=f"output directory for the JSON/table artifacts (default: {DEFAULT_OUT_DIR})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: REPRO_BENCH_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the registered scenarios and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(catalog_table().render())
+        return 0
+    if not args.scenarios:
+        parser.error("--scenarios is required (or use --list)")
+
+    names = [part.strip().lower() for part in args.scenarios.split(",") if part.strip()]
+    seeds = _parse_int_list(args.seeds, "--seeds")
+    peers_list: List[Optional[int]] = (
+        list(_parse_int_list(args.peers, "--peers")) if args.peers else [None]
+    )
+    if not names or not seeds:
+        parser.error("need at least one scenario and one seed")
+
+    summaries = run_sweep(
+        names, seeds, peers_list, args.duration, args.out, workers=args.workers
+    )
+    print(render_aggregate(summaries), end="")
+    print(f"\nwrote {len(summaries)} cell summaries to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,232 @@
+"""Tests for the scenario registry, the catalog, and the golden event counts.
+
+The golden counts pin every registered scenario (paper periods and stress
+scenarios) at micro scale with a fixed seed: a change in any of them means a
+behavioural change in the simulation or the scenario definitions, which must
+be deliberate and explained — the same contract the P1 golden in
+``test_perf_and_runner.py`` enforces for the core.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.periods import PERIODS, scale_watermarks
+from repro.kademlia.dht import DHTMode
+from repro.scenarios import (
+    ScenarioSpec,
+    build_scenario_config,
+    register,
+    run_scenario_by_name,
+    scenario,
+    scenario_names,
+    scenarios,
+)
+from repro.simulation.churn_models import (
+    DiurnalChurnModel,
+    FlashCrowdChurnModel,
+    MassOutageChurnModel,
+)
+from repro.simulation.population import PeerClass, PopulationConfig, generate_population
+from repro.simulation.scenario import ScenarioConfig
+
+STRESS_NAMES = [
+    "flash-crowd",
+    "diurnal-week",
+    "mass-outage",
+    "client-heavy",
+    "hydra-scaling",
+    "crawler-vs-passive-under-burst",
+]
+
+
+class TestRegistry:
+    def test_all_paper_periods_registered(self):
+        names = scenario_names("paper")
+        assert names == ["p0", "p1", "p2", "p3", "p4", "p14"]
+
+    def test_all_stress_scenarios_registered(self):
+        assert scenario_names("stress") == STRESS_NAMES
+
+    def test_lookup_is_case_insensitive(self):
+        assert scenario("P1") is scenario("p1")
+        assert scenario(" Flash-Crowd ") is scenario("flash-crowd")
+
+    def test_unknown_scenario_names_the_catalog(self):
+        with pytest.raises(KeyError, match="flash-crowd"):
+            scenario("definitely-not-a-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(scenario("p1"))
+
+    def test_uppercase_registration_rejected(self):
+        spec = scenario("p1")
+        bad = ScenarioSpec(
+            name="P99", description="x", builder=spec.builder
+        )
+        with pytest.raises(ValueError, match="lowercase"):
+            register(bad)
+
+    def test_specs_document_their_knobs(self):
+        for spec in scenarios():
+            assert spec.description
+            assert spec.knobs, f"{spec.name} has no documented knobs"
+            assert spec.default_peers > 0
+            assert spec.default_duration_days > 0
+
+    def test_period_entries_match_period_specs(self):
+        config = build_scenario_config("p3", n_peers=120, duration_days=0.05)
+        reference = PERIODS["P3"].scenario_config(n_peers=120, duration_days=0.05)
+        assert config.go_ipfs == reference.go_ipfs
+        assert config.hydra_heads == reference.hydra_heads
+        assert config.duration == reference.duration
+
+
+class TestStressScenarioConfigs:
+    def test_flash_crowd_population_uses_flash_crowd_models(self):
+        config = build_scenario_config("flash-crowd", n_peers=60, duration_days=0.1)
+        assert config.population.class_shares[PeerClass.ONE_TIME] == pytest.approx(0.5)
+        population = generate_population(config.population, random.Random(1))
+        models = [
+            p.session_model
+            for p in population
+            if not (p.is_hydra_head or p.is_crawler or p.is_pid_farm)
+        ]
+        assert models and all(isinstance(m, FlashCrowdChurnModel) for m in models)
+
+    def test_diurnal_population_uses_diurnal_models(self):
+        config = build_scenario_config("diurnal-week", n_peers=60, duration_days=0.1)
+        population = generate_population(config.population, random.Random(1))
+        models = [
+            p.session_model
+            for p in population
+            if not (p.is_hydra_head or p.is_crawler or p.is_pid_farm)
+        ]
+        assert models and all(isinstance(m, DiurnalChurnModel) for m in models)
+
+    def test_mass_outage_hits_roughly_the_region_share(self):
+        config = build_scenario_config("mass-outage", n_peers=400, duration_days=0.1)
+        population = generate_population(config.population, random.Random(1))
+        general = [
+            p
+            for p in population
+            if not (p.is_hydra_head or p.is_crawler or p.is_pid_farm)
+        ]
+        affected = sum(
+            isinstance(p.session_model, MassOutageChurnModel) for p in general
+        )
+        assert 0.25 < affected / len(general) < 0.65
+
+    def test_client_heavy_shrinks_server_share(self):
+        config = build_scenario_config("client-heavy", n_peers=60, duration_days=0.1)
+        default = PopulationConfig.scaled_to_paper(60)
+        for cls, share in config.population.server_share_per_class.items():
+            assert share < default.server_share_per_class[cls]
+        assert config.go_ipfs.dht_mode is DHTMode.SERVER
+
+    def test_hydra_scaling_is_hydra_only(self):
+        config = build_scenario_config("hydra-scaling", n_peers=60, duration_days=0.1)
+        assert config.go_ipfs is None
+        assert config.hydra_heads == 6
+        assert 0 < config.hydra_low_water < config.hydra_high_water
+
+    def test_crawler_scenario_runs_the_crawler(self):
+        config = build_scenario_config(
+            "crawler-vs-passive-under-burst", n_peers=60, duration_days=0.1
+        )
+        assert config.run_crawler
+        assert config.crawl_interval <= config.duration / 2
+
+
+class TestGoldenEventCounts:
+    """Fixed-seed micro-scale fingerprints of every registered scenario."""
+
+    GOLDEN = {
+        "p0": {"events": 751, "connections": 288},
+        "p1": {"events": 580, "connections": 196},
+        "p2": {"events": 580, "connections": 196},
+        "p3": {"events": 192, "connections": 27},
+        "p4": {"events": 222, "connections": 36},
+        "p14": {"events": 222, "connections": 36},
+        "flash-crowd": {"events": 273, "connections": 46},
+        "diurnal-week": {"events": 197, "connections": 29},
+        "mass-outage": {"events": 218, "connections": 32},
+        "client-heavy": {"events": 216, "connections": 32},
+        "hydra-scaling": {"events": 930, "connections": 414},
+        "crawler-vs-passive-under-burst": {"events": 275, "connections": 46},
+    }
+
+    def test_golden_covers_the_whole_catalog(self):
+        assert set(self.GOLDEN) == set(scenario_names())
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_fixed_seed_event_counts(self, name):
+        result = run_scenario_by_name(name, n_peers=60, duration_days=0.02, seed=11)
+        observed = {
+            "events": result.events_processed,
+            "connections": sum(len(d.connections) for d in result.datasets.values()),
+        }
+        assert observed == self.GOLDEN[name]
+
+    def test_stress_scenarios_are_reproducible(self):
+        kwargs = dict(n_peers=50, duration_days=0.02, seed=23)
+        for name in STRESS_NAMES[:2]:
+            first = run_scenario_by_name(name, **kwargs)
+            second = run_scenario_by_name(name, **kwargs)
+            assert first.events_processed == second.events_processed
+            assert {k: len(v.connections) for k, v in first.datasets.items()} == {
+                k: len(v.connections) for k, v in second.datasets.items()
+            }
+
+
+class TestScenarioConfigValidation:
+    """Satellite: bad hydra configurations fail fast with clear errors."""
+
+    def test_negative_hydra_heads_rejected(self):
+        with pytest.raises(ValueError, match="hydra_heads"):
+            ScenarioConfig(hydra_heads=-1)
+
+    def test_zero_hydra_watermarks_rejected(self):
+        with pytest.raises(ValueError, match="hydra_low_water"):
+            ScenarioConfig(hydra_heads=2, hydra_low_water=0, hydra_high_water=100)
+        with pytest.raises(ValueError, match="hydra_high_water"):
+            ScenarioConfig(hydra_heads=2, hydra_low_water=10, hydra_high_water=-5)
+
+    def test_inverted_hydra_watermarks_rejected(self):
+        with pytest.raises(ValueError, match="low <= high"):
+            ScenarioConfig(hydra_heads=2, hydra_low_water=200, hydra_high_water=100)
+
+    def test_watermarks_ignored_without_hydra(self):
+        # no heads deployed: the watermark fields are dormant, not validated
+        config = ScenarioConfig(hydra_heads=0, hydra_low_water=None, hydra_high_water=None)
+        assert config.hydra_heads == 0
+
+    def test_nonpositive_crawl_interval_rejected(self):
+        with pytest.raises(ValueError, match="crawl_interval"):
+            ScenarioConfig(run_crawler=True, crawl_interval=0.0)
+
+
+class TestScaleWatermarksHelper:
+    """Satellite: one shared scaling helper behind periods and catalog."""
+
+    def test_matches_period_spec_methods(self):
+        for period_id, spec in PERIODS.items():
+            for n_peers in (60, 600, 6000):
+                assert spec.scaled_watermarks(n_peers) == scale_watermarks(
+                    spec.low_water, spec.high_water, n_peers
+                )
+
+    def test_floor_and_ordering(self):
+        low, high = scale_watermarks(600, 900, 10)
+        assert low == 20 and high > low
+        low_big, high_big = scale_watermarks(600, 900, 60_000)
+        assert low_big > low and high_big > high
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            scale_watermarks(600, 900, 0)
+        with pytest.raises(ValueError):
+            scale_watermarks(0, 900, 100)
+        with pytest.raises(ValueError):
+            scale_watermarks(900, 600, 100)

@@ -1,5 +1,6 @@
-"""Tests for the session/duration distributions."""
+"""Tests for the session/duration distributions and the churn model library."""
 
+import math
 import random
 
 import pytest
@@ -7,17 +8,23 @@ import pytest
 from repro.simulation.churn_models import (
     DAY,
     HOUR,
+    MINUTE,
+    DiurnalChurnModel,
     ExponentialDistribution,
     FixedDistribution,
+    FlashCrowdChurnModel,
     LogNormalDistribution,
+    MassOutageChurnModel,
     ParetoDistribution,
     SessionModel,
+    TraceReplayChurnModel,
     UniformDistribution,
     WeibullDistribution,
     always_on_session,
     light_session,
     normal_session,
     one_time_session,
+    pareto_session,
 )
 
 
@@ -119,3 +126,221 @@ class TestSessionModels:
         once = one_time_session().uptime.mean()
         assert heavy > normal > light
         assert normal > once
+
+
+def _all_churn_models():
+    """One instance of every churn model, for the shared property checks."""
+    base = SessionModel(
+        uptime=ExponentialDistribution(2 * HOUR),
+        downtime=ExponentialDistribution(4 * HOUR),
+    )
+    return [
+        base,
+        pareto_session(2 * HOUR, 4 * HOUR, alpha=2.5),
+        DiurnalChurnModel(base=base, amplitude=0.6),
+        FlashCrowdChurnModel(base=base, burst_start=2 * HOUR, burst_duration=1 * HOUR),
+        MassOutageChurnModel(base=base, outage_start=6 * HOUR, outage_duration=2 * HOUR),
+        TraceReplayChurnModel(
+            sessions=[120.0, 3600.0, 900.0], intersessions=[600.0, 7200.0]
+        ),
+    ]
+
+
+class TestChurnModelProperties:
+    """Seeded-random property checks shared by every model in the library."""
+
+    @pytest.mark.parametrize("model_index", range(len(_all_churn_models())))
+    def test_samples_positive_and_finite(self, model_index):
+        model = _all_churn_models()[model_index]
+        rng = random.Random(1234 + model_index)
+        for _ in range(500):
+            now = rng.uniform(0.0, 2 * DAY)
+            up = model.next_uptime(rng, now)
+            down = model.next_downtime(rng, now)
+            assert up > 0 and math.isfinite(up)
+            assert down > 0 and math.isfinite(down)
+
+    @pytest.mark.parametrize("model_index", range(len(_all_churn_models())))
+    def test_initial_state_duration_positive(self, model_index):
+        model = _all_churn_models()[model_index]
+        rng = random.Random(99 + model_index)
+        for _ in range(100):
+            online, duration = model.initial_state(rng)
+            assert isinstance(online, bool)
+            assert duration > 0 and math.isfinite(duration)
+
+    @pytest.mark.parametrize("model_index", range(len(_all_churn_models())))
+    def test_max_sessions_exposed(self, model_index):
+        model = _all_churn_models()[model_index]
+        assert model.max_sessions is None or model.max_sessions >= 1
+
+    def test_pareto_session_matches_configured_means(self):
+        model = pareto_session(1000.0, 500.0, alpha=3.0)
+        rng = random.Random(42)
+        ups = [model.next_uptime(rng) for _ in range(20_000)]
+        downs = [model.next_downtime(rng) for _ in range(20_000)]
+        assert sum(ups) / len(ups) == pytest.approx(1000.0, rel=0.10)
+        assert sum(downs) / len(downs) == pytest.approx(500.0, rel=0.10)
+
+    def test_pareto_session_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            pareto_session(100.0, 100.0, alpha=1.0)
+        with pytest.raises(ValueError):
+            pareto_session(-1.0, 100.0, alpha=2.0)
+
+
+class TestDiurnalChurnModel:
+    def test_uptime_mean_preserved_over_full_cycle(self):
+        base = SessionModel(
+            uptime=FixedDistribution(1000.0), downtime=FixedDistribution(1000.0)
+        )
+        model = DiurnalChurnModel(base=base, amplitude=0.6)
+        rng = random.Random(7)
+        samples = [model.next_uptime(rng, rng.uniform(0.0, DAY)) for _ in range(8000)]
+        assert sum(samples) / len(samples) == pytest.approx(1000.0, rel=0.03)
+
+    def test_downtime_shorter_at_peak_than_trough(self):
+        base = SessionModel(
+            uptime=FixedDistribution(1000.0), downtime=FixedDistribution(1000.0)
+        )
+        model = DiurnalChurnModel(base=base, amplitude=0.6, peak_time=18 * HOUR)
+        rng = random.Random(7)
+        at_peak = model.next_downtime(rng, 18 * HOUR)
+        at_trough = model.next_downtime(rng, 6 * HOUR)
+        assert at_peak == pytest.approx(1000.0 / 1.6)
+        assert at_trough == pytest.approx(1000.0 / 0.4)
+        assert model.activity(18 * HOUR) == pytest.approx(1.6)
+        assert model.activity(6 * HOUR) == pytest.approx(0.4)
+
+    def test_rejects_amplitude_outside_unit_interval(self):
+        base = normal_session()
+        with pytest.raises(ValueError):
+            DiurnalChurnModel(base=base, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalChurnModel(base=base, amplitude=-0.1)
+
+
+class TestFlashCrowdChurnModel:
+    def _model(self, **kwargs):
+        base = SessionModel(
+            uptime=FixedDistribution(600.0), downtime=FixedDistribution(1200.0)
+        )
+        defaults = dict(base=base, burst_start=1 * HOUR, burst_duration=1 * HOUR)
+        defaults.update(kwargs)
+        return FlashCrowdChurnModel(**defaults)
+
+    def test_downtime_accelerated_only_inside_burst(self):
+        model = self._model(intensity=6.0)
+        rng = random.Random(3)
+        assert model.next_downtime(rng, 0.0) == pytest.approx(1200.0)
+        assert model.next_downtime(rng, 1.5 * HOUR) == pytest.approx(200.0)
+        assert model.next_downtime(rng, 3 * HOUR) == pytest.approx(1200.0)
+
+    def test_arrivals_concentrate_in_burst(self):
+        model = self._model(arrival_share=1.0)
+        rng = random.Random(5)
+        for _ in range(200):
+            arrival = model.arrival_time(rng, duration=4 * HOUR)
+            assert 1 * HOUR <= arrival < 2 * HOUR
+
+    def test_arrivals_spread_without_share(self):
+        model = self._model(arrival_share=0.0)
+        rng = random.Random(5)
+        arrivals = [model.arrival_time(rng, duration=4 * HOUR) for _ in range(500)]
+        assert min(arrivals) < 1 * HOUR  # some land before the burst
+        assert all(0.0 <= a <= 4 * HOUR * 0.95 for a in arrivals)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            self._model(intensity=0.5)
+        with pytest.raises(ValueError):
+            self._model(burst_duration=0.0)
+        with pytest.raises(ValueError):
+            self._model(arrival_share=1.5)
+
+
+class TestMassOutageChurnModel:
+    def _model(self, **kwargs):
+        base = SessionModel(
+            uptime=FixedDistribution(1000.0), downtime=FixedDistribution(100.0)
+        )
+        defaults = dict(
+            base=base, outage_start=500.0, outage_duration=300.0, recovery_spread=50.0
+        )
+        defaults.update(kwargs)
+        return MassOutageChurnModel(**defaults)
+
+    def test_uptime_truncated_at_outage_start(self):
+        model = self._model()
+        rng = random.Random(1)
+        assert model.next_uptime(rng, 0.0) == pytest.approx(500.0)
+        # far enough before the outage that the session ends naturally
+        assert model.next_uptime(rng, 2000.0) == pytest.approx(1000.0)
+
+    def test_online_mid_outage_only_flaps(self):
+        model = self._model()
+        rng = random.Random(1)
+        assert model.next_uptime(rng, 600.0) == pytest.approx(MINUTE)
+
+    def test_downtime_extended_past_outage_end(self):
+        model = self._model()
+        rng = random.Random(1)
+        # would end at 550, inside the outage: pushed past 800 (+ jitter <= 50)
+        extended = model.next_downtime(rng, 450.0)
+        assert 350.0 <= extended <= 400.0
+        # after the outage everything is back to normal
+        assert model.next_downtime(rng, 900.0) == pytest.approx(100.0)
+
+    def test_initial_session_cannot_span_outage_start(self):
+        base = SessionModel(
+            uptime=FixedDistribution(10_000.0),
+            downtime=FixedDistribution(100.0),
+            initially_online_probability=1.0,
+        )
+        model = MassOutageChurnModel(base=base, outage_start=500.0, outage_duration=300.0)
+        online, duration = model.initial_state(random.Random(2))
+        assert online
+        assert duration <= 500.0
+
+
+class TestTraceReplayChurnModel:
+    def test_replays_and_cycles(self):
+        model = TraceReplayChurnModel(sessions=[10.0, 20.0], intersessions=[5.0])
+        rng = random.Random(0)
+        assert [model.next_uptime(rng) for _ in range(4)] == [10.0, 20.0, 10.0, 20.0]
+        assert [model.next_downtime(rng) for _ in range(3)] == [5.0, 5.0, 5.0]
+        assert model.mean_uptime() == pytest.approx(15.0)
+        assert model.mean_downtime() == pytest.approx(5.0)
+
+    def test_spawn_gives_independent_cursors(self):
+        trace = TraceReplayChurnModel(sessions=[1.0, 2.0, 3.0], intersessions=[4.0, 5.0])
+        rng = random.Random(9)
+        spawned = [trace.spawn(rng) for _ in range(20)]
+        firsts = {model.next_uptime(rng) for model in spawned}
+        assert len(firsts) > 1  # different offsets actually happen
+        # the parent's cursor is untouched by spawning
+        assert trace.next_uptime(rng) == 1.0
+
+    def test_from_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("session,intersession\n120.5,600\n3600,7200.25\n")
+        model = TraceReplayChurnModel.from_csv(str(path))
+        rng = random.Random(0)
+        assert model.next_uptime(rng) == pytest.approx(120.5)
+        assert model.next_uptime(rng) == pytest.approx(3600.0)
+        assert model.next_downtime(rng) == pytest.approx(600.0)
+        assert model.next_downtime(rng) == pytest.approx(7200.25)
+
+    def test_from_csv_rejects_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("uptime,downtime\n1,2\n")
+        with pytest.raises(ValueError):
+            TraceReplayChurnModel.from_csv(str(path))
+
+    def test_rejects_non_positive_intervals(self):
+        with pytest.raises(ValueError):
+            TraceReplayChurnModel(sessions=[0.0], intersessions=[5.0])
+        with pytest.raises(ValueError):
+            TraceReplayChurnModel(sessions=[], intersessions=[5.0])
+        with pytest.raises(ValueError):
+            TraceReplayChurnModel(sessions=[float("inf")], intersessions=[5.0])

@@ -1,0 +1,161 @@
+"""End-to-end tests for ``python -m repro.sweep`` (tier-1 micro-sweep).
+
+Runs a 2-scenario × 2-seed sweep at ≤ 50 peers and ≤ 0.02 simulated days —
+small enough for CI — and checks the artifact contract: per-cell JSON
+summaries that round-trip, a well-formed aggregate table, and byte-identical
+output across two runs with the same flags.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.sweep_report import (
+    CELL_SCHEMA,
+    SWEEP_SCHEMA,
+    aggregate_payload,
+    primary_dataset_label,
+)
+from repro.sweep import (
+    cell_filename,
+    main,
+    parse_duration_days,
+    summarize_cell,
+)
+
+MICRO_FLAGS = [
+    "--scenarios", "p1,flash-crowd",
+    "--seeds", "7,8",
+    "--peers", "50",
+    "--duration", "0.02d",
+]
+
+
+@pytest.fixture(scope="module")
+def micro_sweep(tmp_path_factory):
+    """One micro-sweep run shared by the assertions below."""
+    out_dir = tmp_path_factory.mktemp("sweep")
+    exit_code = main(MICRO_FLAGS + ["--out", str(out_dir)])
+    assert exit_code == 0
+    return out_dir
+
+
+class TestMicroSweep:
+    def test_writes_one_json_per_cell(self, micro_sweep):
+        names = sorted(p for p in os.listdir(micro_sweep) if p.endswith(".json"))
+        assert names == [
+            "flash-crowd__n50__s7.json",
+            "flash-crowd__n50__s8.json",
+            "p1__n50__s7.json",
+            "p1__n50__s8.json",
+            "sweep_summary.json",
+        ]
+
+    def test_cell_summaries_roundtrip(self, micro_sweep):
+        for name in os.listdir(micro_sweep):
+            if not name.endswith(".json") or name == "sweep_summary.json":
+                continue
+            with open(micro_sweep / name) as handle:
+                summary = json.load(handle)
+            assert summary["schema"] == CELL_SCHEMA
+            assert cell_filename(summary) == name
+            assert summary["n_peers"] == 50
+            assert summary["events_processed"] > 0
+            label = primary_dataset_label(summary)
+            assert label == "go-ipfs"
+            counts = summary["datasets"][label]
+            assert set(counts) == {"peers", "connections", "snapshots", "changes"}
+            assert set(summary["churn"][label]) == {
+                "avg_duration", "median_duration", "trim_share",
+            }
+            # round-trips through JSON without loss
+            assert json.loads(json.dumps(summary)) == summary
+
+    def test_aggregate_summary_totals(self, micro_sweep):
+        with open(micro_sweep / "sweep_summary.json") as handle:
+            aggregate = json.load(handle)
+        assert aggregate["schema"] == SWEEP_SCHEMA
+        cells = aggregate["cells"]
+        assert len(cells) == 4
+        assert [c["scenario"] for c in cells] == [
+            "p1", "p1", "flash-crowd", "flash-crowd",
+        ]
+        assert [c["seed"] for c in cells] == [7, 8, 7, 8]
+        totals = aggregate["totals"]
+        assert totals["cells"] == 4
+        assert totals["events_processed"] == sum(c["events_processed"] for c in cells)
+        # the aggregate is exactly what the module computes from the cells
+        assert aggregate == json.loads(json.dumps(aggregate_payload(cells)))
+
+    def test_totals_count_hydra_union_connections_once(self):
+        # p0 deploys go-ipfs + a 3-head hydra: the "hydra" dataset is the
+        # union of the heads and must not be double-counted in the totals
+        from repro.sweep import summarize_cell
+
+        summary = summarize_cell("p0", 40, 0.01, 5)
+        totals = aggregate_payload([summary])["totals"]
+        distinct = sum(
+            counts["connections"]
+            for label, counts in summary["datasets"].items()
+            if label != "hydra"
+        )
+        assert totals["connections"] == distinct
+        assert distinct < sum(c["connections"] for c in summary["datasets"].values())
+
+    def test_aggregate_table_is_well_formed(self, micro_sweep):
+        text = (micro_sweep / "sweep_table.txt").read_text()
+        lines = text.splitlines()
+        assert lines[0] == "Scenario sweep"
+        header, separator = lines[1], lines[2]
+        assert "Scenario" in header and "Trim share" in header
+        data_rows = lines[3:7]
+        assert len(data_rows) == 4
+        for row in data_rows:
+            assert row.count("|") == header.count("|")
+        assert separator.count("+") == header.count("|")
+        assert lines[-1].startswith("4 cells, ")
+
+    def test_two_runs_are_byte_identical(self, micro_sweep, tmp_path):
+        rerun = tmp_path / "rerun"
+        assert main(MICRO_FLAGS + ["--out", str(rerun)]) == 0
+        for name in os.listdir(micro_sweep):
+            first = (micro_sweep / name).read_bytes()
+            second = (rerun / name).read_bytes()
+            assert first == second, f"{name} differs between identical sweeps"
+
+
+class TestCliParsing:
+    def test_parse_duration_units(self):
+        assert parse_duration_days("0.02d") == pytest.approx(0.02)
+        assert parse_duration_days("12h") == pytest.approx(0.5)
+        assert parse_duration_days("43200s") == pytest.approx(0.5)
+        assert parse_duration_days("0.25") == pytest.approx(0.25)
+
+    def test_parse_duration_rejects_garbage(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_duration_days("fast")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_duration_days("-1d")
+
+    def test_unknown_scenario_fails_before_running(self, tmp_path):
+        with pytest.raises(KeyError):
+            main([
+                "--scenarios", "p1,no-such-scenario",
+                "--seeds", "7",
+                "--peers", "30",
+                "--duration", "0.01d",
+                "--out", str(tmp_path / "never"),
+            ])
+        assert not (tmp_path / "never").exists()
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "flash-crowd" in out and "p14" in out
+
+    def test_summarize_cell_uses_spec_defaults_for_peers(self):
+        summary = summarize_cell("p1", None, 0.01, 3)
+        assert summary["n_peers"] == 1500  # the period's bench default
