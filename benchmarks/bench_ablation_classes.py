@@ -15,11 +15,19 @@ from benchlib import scale_note
 HOUR = 3_600.0
 
 SWEEP = [
-    ("strict", ClassificationThresholds(heavy_duration=36 * HOUR, normal_duration=4 * HOUR,
-                                         light_min_connections=5)),
+    (
+        "strict",
+        ClassificationThresholds(
+            heavy_duration=36 * HOUR, normal_duration=4 * HOUR, light_min_connections=5
+        ),
+    ),
     ("paper", ClassificationThresholds()),
-    ("lenient", ClassificationThresholds(heavy_duration=12 * HOUR, normal_duration=1 * HOUR,
-                                          light_min_connections=2)),
+    (
+        "lenient",
+        ClassificationThresholds(
+            heavy_duration=12 * HOUR, normal_duration=1 * HOUR, light_min_connections=2
+        ),
+    ),
 ]
 
 

@@ -56,8 +56,9 @@ def test_ablation_watermark_sweep(benchmark, sweep_reports):
     print()
     print(f"[ablation scale: {N_PEERS} peers, {DURATION / DAY:.2f} d per configuration]")
     table = TextTable(
-        headers=["Low/High (paper scale)", "connections", "avg (all)", "avg (peer)",
-                 "trim share"],
+        headers=[
+            "Low/High (paper scale)", "connections", "avg (all)", "avg (peer)", "trim share"
+        ],
         title="Ablation — connection-manager watermark sweep",
     )
     for (low, high), (all_stats, peer_stats, trims) in stats.items():

@@ -1,0 +1,75 @@
+"""Content-routing catalog — publish/retrieve workloads over the churning DHT.
+
+Runs the registered content scenarios at benchmark scale and regenerates the
+retrieval-quality table the sweep CLI reports (success rates, hop/latency
+quantiles).  The shape claims assert that the content regimes actually behave
+the way they are designed to: republishing keeps records resolvable, disabling
+it makes retrieval success decay as the TTL bites, and a steep Zipf head turns
+repeat requests into local-blockstore hits.
+"""
+
+from functools import lru_cache
+
+from conftest import _env_float, _env_int, BENCH_SEED
+
+from repro.analysis.sweep_report import aggregate_table
+from repro.scenarios import run_scenario_by_name, scenario_names
+
+CONTENT_PEERS = 300
+CONTENT_DAYS = 0.15
+
+
+def _bench_scale():
+    peers = _env_int("REPRO_BENCH_PEERS") or CONTENT_PEERS
+    days = _env_float("REPRO_BENCH_DAYS") or CONTENT_DAYS
+    return peers, days
+
+
+@lru_cache(maxsize=None)
+def content_results():
+    peers, days = _bench_scale()
+    return {
+        name: run_scenario_by_name(name, n_peers=peers, duration_days=days, seed=BENCH_SEED)
+        for name in scenario_names("content")
+    }
+
+
+def build_content_table():
+    from repro.sweep import summarize_result
+
+    peers, days = _bench_scale()
+    return aggregate_table(
+        [
+            summarize_result(name, peers, days, BENCH_SEED, result)
+            for name, result in content_results().items()
+        ]
+    )
+
+
+def test_content_routing_catalog(benchmark):
+    results = content_results()
+    table = benchmark(build_content_table)
+    print()
+    print(table.render())
+
+    stats = {name: result.content for name, result in results.items()}
+    for name, s in stats.items():
+        assert s is not None, f"{name} ran no content workload"
+        assert s.provides > 0 and s.retrievals > 0, name
+
+    # With republishing at TTL/2 pace, records stay resolvable end to end:
+    # success in the second half does not collapse relative to the first.
+    churn = stats["provide-churn"]
+    assert churn.retrieval_success_rate > 0.2
+    assert churn.second_half_success_rate > 0.5 * churn.first_half_success_rate
+
+    # Short TTL + no republish: records expire out and retrieval decays.
+    expiry = stats["provider-record-expiry"]
+    assert expiry.republishes == 0
+    assert expiry.records_expired > 0
+    assert expiry.second_half_success_rate < churn.second_half_success_rate
+
+    # The steep Zipf head of the flash crowd turns repeat requests into
+    # local-blockstore hits and concentrates lookups on few keys.
+    flash = stats["retrieval-flash-crowd"]
+    assert flash.retrievals_local > churn.retrievals_local

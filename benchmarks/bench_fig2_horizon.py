@@ -28,8 +28,10 @@ def test_fig2_measurement_horizon(benchmark, p0_result, p2_result, p3_result, p4
 
     print()
     table = TextTable(
-        headers=["Period", "Vantage", "total PIDs", "DHT-Server", "DHT-Client",
-                 "crawler min", "crawler max"],
+        headers=[
+            "Period", "Vantage", "total PIDs", "DHT-Server", "DHT-Client",
+            "crawler min", "crawler max",
+        ],
         title="Fig. 2 — measurement horizons (measured)",
     )
     for period_id, comparison in sorted(comparisons.items()):
@@ -42,8 +44,10 @@ def test_fig2_measurement_horizon(benchmark, p0_result, p2_result, p3_result, p4
                 crawler.max_discovered if crawler and crawler.crawls else "-",
             )
     print(table.render())
-    print(f"paper: passive vantage points saw {PAPER.passive_pid_range[0]:,}–"
-          f"{PAPER.passive_pid_range[1]:,} PIDs; crawler ranges ~10k–25k (DHT-Servers only)")
+    print(
+        f"paper: passive vantage points saw {PAPER.passive_pid_range[0]:,}–"
+        f"{PAPER.passive_pid_range[1]:,} PIDs; crawler ranges ~10k–25k (DHT-Servers only)"
+    )
     for period_id, result in results.items():
         print(f"{period_id}: {scale_note(result)}")
 

@@ -33,8 +33,10 @@ def test_fig5_simultaneous_connections(benchmark, p0_result, p1_result, p2_resul
         print(f"{period_id}: {scale_note(result)}")
     print("Fig. 5 — simultaneous connections over the first 24 h (sparklines):")
     print(ascii_series({k: downsample(v, 80) for k, v in series.items()}))
-    print(f"paper: P2 plateaus at ~15k–16k (< LowWater 18k); "
-          f"max simultaneous connections ≈ {PAPER.max_simultaneous_connections:,}")
+    print(
+        "paper: P2 plateaus at ~15k–16k (< LowWater 18k); "
+        f"max simultaneous connections ≈ {PAPER.max_simultaneous_connections:,}"
+    )
 
     def peak(key):
         return max((v for _, v in series[key]), default=0.0)

@@ -33,8 +33,11 @@ def test_sec4b_metadata_totals(benchmark, p4_result):
         ("missing agent", report.agents.missing_peers, PAPER.missing_agent_pids),
         ("kad support", report.protocols.kad_support, PAPER.kad_support),
         ("bitswap support", report.protocols.bitswap_support, PAPER.bitswap_support),
-        ("go-ipfs w/o bitswap", report.protocols.goipfs_without_bitswap,
-         PAPER.goipfs_080_without_bitswap),
+        (
+            "go-ipfs w/o bitswap",
+            report.protocols.goipfs_without_bitswap,
+            PAPER.goipfs_080_without_bitswap,
+        ),
         ("kad-flapping peers", report.kad_flaps.peers, PAPER.kad_flap_peers),
         ("kad announcement changes", report.kad_flaps.changes, PAPER.kad_flap_changes),
         ("autonat-flapping peers", report.autonat_flaps.peers, PAPER.autonat_flap_peers),

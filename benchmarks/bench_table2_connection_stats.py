@@ -11,7 +11,6 @@ Section IV.A argues from:
 * inbound connections outnumber and outlast outbound ones.
 """
 
-import pytest
 
 from repro.analysis.tables import TextTable, format_count, format_seconds
 from repro.core.churn import connection_statistics
@@ -32,8 +31,10 @@ def collect_reports(results):
 
 def render_table(reports):
     table = TextTable(
-        headers=["Period", "Client", "Type", "Sum", "Avg.", "Median",
-                 "paper Sum", "paper Avg.", "paper Median"],
+        headers=[
+            "Period", "Client", "Type", "Sum", "Avg.", "Median",
+            "paper Sum", "paper Avg.", "paper Median",
+        ],
         title="Table II — connection statistics (measured vs paper)",
     )
     for (period_id, label), report in sorted(reports.items()):

@@ -20,8 +20,10 @@ def test_table4_peer_classification(benchmark, p4_result):
     print()
     print(f"P4: {scale_note(p4_result)}")
     table = TextTable(
-        headers=["Class", "Peers", "DHT-Server", "share", "paper Peers",
-                 "paper DHT-Server", "paper share"],
+        headers=[
+            "Class", "Peers", "DHT-Server", "share", "paper Peers",
+            "paper DHT-Server", "paper share",
+        ],
         title="Table IV — classification of peers",
     )
     paper_total = sum(row.peers for row in PAPER.table4)

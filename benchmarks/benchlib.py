@@ -102,7 +102,8 @@ def run_core_bench(
 def render_perf_table(perfs: Sequence[perf.PeriodPerf]) -> str:
     """Human-readable summary of a harness run."""
     lines = [
-        f"{'period':<7}{'peers':>7}{'days':>7}{'wall s':>9}{'events':>10}{'ev/s':>10}{'queries':>9}",
+        f"{'period':<7}{'peers':>7}{'days':>7}{'wall s':>9}"
+        f"{'events':>10}{'ev/s':>10}{'queries':>9}",
     ]
     for p in perfs:
         lines.append(

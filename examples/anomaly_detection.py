@@ -23,8 +23,9 @@ from repro.experiments.runner import run_period_cached
 
 def main() -> None:
     print("Simulating a P4-style measurement for the meta-data analysis…")
-    result = run_period_cached("P4", n_peers=800, duration_days=1.0, seed=5,
-                               run_crawler=False)
+    result = run_period_cached(
+        "P4", n_peers=800, duration_days=1.0, seed=5, run_crawler=False
+    )
     dataset = result.dataset("go-ipfs")
     report = analyze_metadata(dataset, group_threshold=2)
 

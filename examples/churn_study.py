@@ -38,8 +38,10 @@ def main() -> None:
         reports[period_id] = connection_statistics(result.dataset("go-ipfs"))
 
     table = TextTable(
-        headers=["Period", "Low/High (paper)", "Mode", "conns", "avg (all)",
-                 "avg (peer)", "median (all)", "trim share", "in:out"],
+        headers=[
+            "Period", "Low/High (paper)", "Mode", "conns", "avg (all)",
+            "avg (peer)", "median (all)", "trim share", "in:out",
+        ],
         title="\nConnection churn across the measurement configurations",
     )
     for period_id, report in reports.items():

@@ -27,8 +27,9 @@ DAY = 86_400.0
 
 def main() -> None:
     print("Simulating a P4-style measurement (DHT-Server vantage point, 1.5 days)…")
-    result = run_period_cached("P4", n_peers=700, duration_days=1.5, seed=11,
-                               run_crawler=False)
+    result = run_period_cached(
+        "P4", n_peers=700, duration_days=1.5, seed=11, run_crawler=False
+    )
     dataset = result.dataset("go-ipfs")
     report = estimate_network_size(dataset)
 
@@ -42,7 +43,9 @@ def main() -> None:
 
     # -- estimator 1: multiaddress grouping ----------------------------------------------
     multiaddr = report.multiaddr
-    table = TextTable(headers=["Quantity", "value"], title="\nEstimator 1 — multiaddress grouping")
+    table = TextTable(
+        headers=["Quantity", "value"], title="\nEstimator 1 — multiaddress grouping"
+    )
     table.add_row("connected PIDs", multiaddr.connected_pids)
     table.add_row("distinct IPs", multiaddr.distinct_ips)
     table.add_row("IP groups (network-size estimate)", multiaddr.groups)

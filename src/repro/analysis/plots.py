@@ -7,7 +7,7 @@ reader can eyeball the shape (e.g. the connection-trimming sawtooth of Fig. 5).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 

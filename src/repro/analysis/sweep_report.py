@@ -3,9 +3,11 @@
 The sweep CLI (``python -m repro.sweep``) produces one JSON summary dict per
 (scenario, population, seed) cell; this module turns a list of those dicts
 into the aggregate artifacts — a totals payload and a rendered
-:class:`~repro.analysis.tables.TextTable`.  Everything here is deterministic:
-no timestamps, no wall-clock fields, stable ordering — two sweeps with the
-same flags must aggregate to byte-identical output.
+:class:`~repro.analysis.tables.TextTable`.  Cells that failed to run are
+carried alongside the successes (the CLI exits nonzero when any exist).
+Everything here is deterministic: no timestamps, no wall-clock fields, stable
+ordering — two sweeps with the same flags must aggregate to byte-identical
+output.
 """
 
 from __future__ import annotations
@@ -28,10 +30,12 @@ def primary_dataset_label(summary: Dict) -> Optional[str]:
     return next(iter(sorted(datasets)), None)
 
 
-def aggregate_payload(summaries: Sequence[Dict]) -> Dict:
+def aggregate_payload(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) -> Dict:
     """The ``sweep_summary.json`` payload: all cells plus sweep-wide totals."""
+    content_blocks = [s["content"] for s in summaries if s.get("content")]
     totals = {
         "cells": len(summaries),
+        "failed_cells": len(failures),
         "events_processed": sum(s["events_processed"] for s in summaries),
         "queries_sent": sum(s["queries_sent"] for s in summaries),
         # The "hydra" dataset is the union of the per-head datasets summed
@@ -42,11 +46,14 @@ def aggregate_payload(summaries: Sequence[Dict]) -> Dict:
             for label, counts in s["datasets"].items()
             if label != "hydra"
         ),
+        "retrievals": sum(c["retrievals"] for c in content_blocks),
+        "retrieval_successes": sum(c["retrieval_successes"] for c in content_blocks),
     }
     return {
         "schema": SWEEP_SCHEMA,
         "totals": totals,
         "cells": list(summaries),
+        "failures": list(failures),
     }
 
 
@@ -56,6 +63,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
         headers=[
             "Scenario", "Peers", "Seed", "Events", "Dataset",
             "PIDs", "Conns", "Avg dur (s)", "Trim share", "Queries",
+            "Retr", "Retr OK",
         ],
         title="Scenario sweep",
     )
@@ -63,6 +71,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
         label = primary_dataset_label(summary)
         counts = summary["datasets"].get(label, {}) if label else {}
         churn = summary.get("churn", {}).get(label, {}) if label else {}
+        content = summary.get("content")
         table.add_row(
             summary["scenario"],
             summary["n_peers"],
@@ -74,19 +83,32 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
             f"{churn.get('avg_duration', 0.0):.1f}",
             f"{churn.get('trim_share', 0.0):.2f}",
             format_count(summary["queries_sent"]),
+            format_count(content["retrievals"]) if content else "-",
+            f"{content['retrieval_success_rate']:.2f}" if content else "-",
         )
     return table
 
 
-def render_aggregate(summaries: Sequence[Dict]) -> str:
-    """The ``sweep_table.txt`` content (table plus a totals line)."""
-    payload = aggregate_payload(summaries)
+def render_aggregate(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) -> str:
+    """The ``sweep_table.txt`` content (table plus totals and failures)."""
+    payload = aggregate_payload(summaries, failures)
     totals = payload["totals"]
     lines: List[str] = [aggregate_table(summaries).render(), ""]
-    lines.append(
+    totals_line = (
         f"{totals['cells']} cells, "
         f"{format_count(totals['events_processed'])} events, "
         f"{format_count(totals['connections'])} recorded connections, "
         f"{format_count(totals['queries_sent'])} crawler queries"
     )
+    if totals["retrievals"]:
+        ok = totals["retrieval_successes"] / totals["retrievals"]
+        totals_line += (
+            f", {format_count(totals['retrievals'])} retrievals ({ok:.0%} ok)"
+        )
+    lines.append(totals_line)
+    for failure in failures:
+        lines.append(
+            f"FAILED {failure['scenario']} (peers={failure['n_peers']}, "
+            f"seed={failure['seed']}): {failure['error']}"
+        )
     return "\n".join(lines) + "\n"

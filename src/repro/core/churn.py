@@ -16,7 +16,7 @@ trimming (rather than node churn) being the dominant close reason.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.analysis.stats import median
 from repro.core.records import ConnectionRecord, MeasurementDataset

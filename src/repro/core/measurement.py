@@ -20,7 +20,7 @@ from repro.core.records import (
     PeerRecord,
     SnapshotRecord,
 )
-from repro.ipfs.peerstore import ChangeKind, Peerstore
+from repro.ipfs.peerstore import Peerstore
 from repro.ipfs.swarm import Swarm
 from repro.libp2p.connection import CloseReason, Connection
 from repro.libp2p.protocols import KAD_DHT
@@ -117,7 +117,9 @@ class MeasurementRecorder:
     # -- helpers ---------------------------------------------------------------------------
 
     @staticmethod
-    def _to_record(conn: Connection, closed_at: float, still_open: bool = False) -> ConnectionRecord:
+    def _to_record(
+        conn: Connection, closed_at: float, still_open: bool = False
+    ) -> ConnectionRecord:
         reason = conn.close_reason.value if conn.close_reason else None
         if still_open:
             reason = CloseReason.STILL_OPEN.value
@@ -142,8 +144,13 @@ class PassiveMeasurement:
     that drive the node directly.
     """
 
-    def __init__(self, node: MeasuredNode, label: str, measurement_role: str = "server",
-                 poll_interval: float = 30.0) -> None:
+    def __init__(
+        self,
+        node: MeasuredNode,
+        label: str,
+        measurement_role: str = "server",
+        poll_interval: float = 30.0,
+    ) -> None:
         self.node = node
         self.poll_interval = poll_interval
         self.recorder = MeasurementRecorder(label, measurement_role)

@@ -11,9 +11,9 @@ highlights (go-ipfs agents without Bitswap, storm nodes announcing /sbptp/).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from repro.core.records import MeasurementDataset, MetaChangeRecord, PeerRecord
+from repro.core.records import MeasurementDataset
 from repro.libp2p.agent import (
     goipfs_release_group,
     is_crawler_agent,

@@ -27,7 +27,7 @@ from repro.core.classification import (
     PeerClassLabel,
     classify_peer,
 )
-from repro.core.records import ConnectionRecord, MeasurementDataset
+from repro.core.records import MeasurementDataset
 
 
 # ------------------------------------------------------------ per-peer observables

@@ -14,7 +14,7 @@ overcount peers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.records import MeasurementDataset
 
@@ -126,7 +126,11 @@ def summarize_timeseries(
     """Compute the summary indicators used by the Fig. 5 / Fig. 6 benchmarks."""
     connections = [s.simultaneous_connections for s in dataset.snapshots]
     connected = [s.connected_pids for s in dataset.snapshots]
-    gone = gone_pids_over_time(dataset, gone_threshold=gone_threshold, step=max(3600.0, dataset.duration / 50 or 3600.0))
+    gone = gone_pids_over_time(
+        dataset,
+        gone_threshold=gone_threshold,
+        step=max(3600.0, dataset.duration / 50 or 3600.0),
+    )
     return TimeSeriesSummary(
         label=dataset.label,
         peak_simultaneous_connections=max(connections) if connections else 0,

@@ -8,7 +8,7 @@ calibration targets of the population generator auditable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 

@@ -25,7 +25,7 @@ connections, and how aggressively — is preserved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.ipfs.config import IpfsConfig
@@ -128,7 +128,11 @@ class PeriodSpec:
         peers = n_peers if n_peers is not None else self.bench_peers
         days = duration_days
         if days is None:
-            days = self.bench_duration_days if self.bench_duration_days is not None else self.duration_days
+            days = (
+                self.bench_duration_days
+                if self.bench_duration_days is not None
+                else self.duration_days
+            )
         low, high = self.scaled_watermarks(peers)
         go_ipfs_config: Optional[IpfsConfig] = None
         if self.go_ipfs_mode is not None:

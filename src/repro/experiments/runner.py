@@ -20,7 +20,7 @@ from concurrent.futures import ProcessPoolExecutor
 from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.periods import PeriodSpec, period
+from repro.experiments.periods import period
 from repro.perf import PeriodPerf, measure_period
 from repro.simulation.scenario import Scenario, ScenarioResult
 
@@ -58,7 +58,11 @@ def run_period_cached(
     peers = n_peers if n_peers is not None else spec.bench_peers
     days = duration_days
     if days is None:
-        days = spec.bench_duration_days if spec.bench_duration_days is not None else spec.duration_days
+        days = (
+            spec.bench_duration_days
+            if spec.bench_duration_days is not None
+            else spec.duration_days
+        )
     crawler = spec.run_crawler if run_crawler is None else run_crawler
     key: _CacheKey = (period_id, peers, days, seed, crawler)
     if key not in _CACHE:

@@ -10,7 +10,7 @@ examples and to keep the node composition faithful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.libp2p.peer_id import PeerId
@@ -49,6 +49,9 @@ class BitswapEngine:
     def has_block(self, cid: str) -> bool:
         return cid in self._blockstore
 
+    def get_block(self, cid: str) -> Optional[bytes]:
+        return self._blockstore.get(cid)
+
     def want(self, cid: str) -> None:
         if not self.has_block(cid):
             self._wantlist.add(cid)
@@ -86,6 +89,26 @@ class BitswapEngine:
         wanted = cid in self._wantlist
         self.add_block(cid, data)
         return wanted
+
+    def fetch_from(
+        self, local_peer: PeerId, remote_peer: PeerId, remote: "BitswapEngine", cid: str
+    ) -> Optional[bytes]:
+        """One want/block round trip against a connected remote engine.
+
+        This is the exchange a resolved provider serves after being dialled:
+        we send WANT(cid), the remote serves the block from its store (its
+        ledger records bytes/blocks sent), and our ledger records the receipt.
+        Returns the block, or ``None`` when the remote does not have it (or
+        either side runs with Bitswap disabled).
+        """
+        if not self.enabled:
+            return None
+        self.want(cid)
+        block = remote.handle_want(local_peer, cid)
+        if block is None:
+            return None
+        self.handle_block(remote_peer, cid, block)
+        return block
 
     def known_peers(self) -> List[PeerId]:
         return list(self._ledgers.keys())

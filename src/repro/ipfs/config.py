@@ -9,8 +9,7 @@ measurement period.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.kademlia.dht import DHTMode
 from repro.libp2p.connmgr import (

@@ -16,8 +16,8 @@ snapshot.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.libp2p.identify import IdentifyRecord
 from repro.libp2p.multiaddr import Multiaddr
@@ -112,8 +112,13 @@ class Peerstore:
         entry.last_seen = max(entry.last_seen, now)
         return entry
 
-    def set_connected(self, peer: PeerId, connected: bool, now: float,
-                      observed_addr: Optional[Multiaddr] = None) -> None:
+    def set_connected(
+        self,
+        peer: PeerId,
+        connected: bool,
+        now: float,
+        observed_addr: Optional[Multiaddr] = None,
+    ) -> None:
         entry = self.touch(peer, now)
         entry.connected = connected
         if observed_addr is not None:
@@ -125,7 +130,9 @@ class Peerstore:
         emitted: List[MetaChange] = []
 
         if record.agent_version is not None and record.agent_version != entry.agent_version:
-            change = MetaChange(now, peer, ChangeKind.AGENT, entry.agent_version, record.agent_version)
+            change = MetaChange(
+                now, peer, ChangeKind.AGENT, entry.agent_version, record.agent_version
+            )
             entry.agent_version = record.agent_version
             self._changes.append(change)
             emitted.append(change)

@@ -29,7 +29,9 @@ class SwarmListener(Protocol):
 class Swarm:
     """Connection container with connection-manager based trimming."""
 
-    def __init__(self, local_peer: PeerId, connmgr_config: Optional[ConnManagerConfig] = None) -> None:
+    def __init__(
+        self, local_peer: PeerId, connmgr_config: Optional[ConnManagerConfig] = None
+    ) -> None:
         self.local_peer = local_peer
         self.connmgr = ConnectionManager(connmgr_config)
         self._listeners: List[SwarmListener] = []

@@ -25,7 +25,17 @@ from repro.kademlia.keys import (
     xor_distance,
 )
 from repro.kademlia.routing_table import KBucket, RoutingTable
-from repro.kademlia.dht import DHTMode, KademliaNode, LookupResult
+from repro.kademlia.dht import (
+    DHTMode,
+    FindProvidersResult,
+    KademliaNode,
+    LookupResult,
+    ProvideResult,
+    iterative_find_providers,
+    iterative_lookup,
+    iterative_provide,
+)
+from repro.kademlia.provider_store import ProviderRecord, ProviderStore
 
 __all__ = [
     "KEY_BITS",
@@ -39,4 +49,11 @@ __all__ = [
     "DHTMode",
     "KademliaNode",
     "LookupResult",
+    "ProvideResult",
+    "FindProvidersResult",
+    "ProviderRecord",
+    "ProviderStore",
+    "iterative_lookup",
+    "iterative_provide",
+    "iterative_find_providers",
 ]

@@ -1,10 +1,18 @@
 """Kademlia node logic: server/client modes and iterative lookups.
 
-The transport is abstracted as a *query function*: ``query(remote, target,
+The transport is abstracted as *query functions*: ``query(remote, target,
 count)`` asks ``remote`` for its ``count`` closest known peers to ``target``
 and returns ``None`` when the remote is unreachable (offline, NATed, or not a
 DHT-Server).  The simulation network, the hydra heads, and the crawler all
 provide such a function, so the same lookup code is reused everywhere.
+
+Content routing reuses the same convergence machinery with two more RPCs:
+``add_provider(remote, key, provider)`` stores a provider record on a remote
+server and ``get_providers(remote, key)`` returns ``(providers, closer_peers)``
+— the combined reply real GET_PROVIDERS messages carry.  The module-level
+:func:`iterative_lookup` / :func:`iterative_find_providers` functions run the
+walks for callers that are not full :class:`KademliaNode` instances (simulated
+remote peers publish and resolve content without owning a node object).
 """
 
 from __future__ import annotations
@@ -12,9 +20,10 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 from repro.kademlia.keys import key_for_peer, random_key, xor_distance
+from repro.kademlia.provider_store import ProviderStore
 from repro.kademlia.routing_table import DEFAULT_BUCKET_SIZE, RoutingTable
 from repro.libp2p.peer_id import PeerId
 
@@ -37,6 +46,10 @@ class DHTMode(enum.Enum):
 
 
 QueryFn = Callable[[PeerId, int, int], Optional[List[PeerId]]]
+#: add_provider(remote, key, provider) -> stored? (None: remote unreachable)
+AddProviderFn = Callable[[PeerId, int, PeerId], Optional[bool]]
+#: get_providers(remote, key) -> (providers, closer peers) or None (unreachable)
+GetProvidersFn = Callable[[PeerId, int], Optional[Tuple[List[PeerId], List[PeerId]]]]
 
 
 @dataclass
@@ -53,6 +66,197 @@ class LookupResult:
         return bool(self.closest)
 
 
+@dataclass
+class ProvideResult:
+    """Outcome of publishing one provider record (a PROVIDE operation)."""
+
+    key: int
+    #: servers that accepted the record, in distance order
+    stored_on: List[PeerId]
+    lookup: LookupResult
+
+    def succeeded(self) -> bool:
+        return bool(self.stored_on)
+
+    @property
+    def hops(self) -> int:
+        return self.lookup.hops
+
+
+@dataclass
+class FindProvidersResult:
+    """Outcome of resolving one content key (a FIND_PROVIDERS operation)."""
+
+    key: int
+    #: distinct providers in discovery order
+    providers: List[PeerId]
+    queried: Set[PeerId] = field(default_factory=set)
+    hops: int = 0
+    #: True when the walk stopped early because enough providers were found
+    satisfied: bool = False
+
+    def succeeded(self) -> bool:
+        return bool(self.providers)
+
+
+def iterative_lookup(
+    target: int,
+    query: QueryFn,
+    seeds: Iterable[PeerId],
+    self_id: Optional[PeerId] = None,
+    alpha: int = DEFAULT_ALPHA,
+    count: int = DEFAULT_CLOSER_PEERS,
+    max_queries: int = 64,
+    on_found: Optional[Callable[[PeerId], None]] = None,
+    stop: Optional[Callable[[], bool]] = None,
+) -> LookupResult:
+    """Iteratively converge on the ``count`` peers closest to ``target``.
+
+    Standard Kademlia: repeatedly query the ``alpha`` closest not-yet queried
+    candidates, merge the replies, stop when no candidate closer than the
+    current best remains or ``max_queries`` is exhausted.  ``on_found`` is
+    invoked for every peer a reply carries (nodes use it to refresh their
+    routing tables; table-less callers pass nothing).  ``stop`` is re-checked
+    after every reply; content-routing walks use it to end the walk early the
+    moment their side-goal (enough provider records) is met.
+    """
+    candidates: Set[PeerId] = set(seeds)
+    if self_id is not None:
+        candidates.discard(self_id)
+    queried: Set[PeerId] = set()
+    discovered: Set[PeerId] = set(candidates)
+    hops = 0
+    stopped = False
+
+    def dist(peer: PeerId) -> int:
+        return xor_distance(key_for_peer(peer), target)
+
+    while len(queried) < max_queries and not stopped:
+        remaining = sorted(candidates - queried, key=dist)
+        if not remaining:
+            break
+        best_known = sorted(candidates, key=dist)[:count]
+        budget = max_queries - len(queried)
+        batch = remaining[: min(alpha, budget)]
+        progressed = False
+        hops += 1
+        for peer in batch:
+            queried.add(peer)
+            reply = query(peer, target, count)
+            if reply is None:
+                continue
+            for found in reply:
+                if found == self_id:
+                    continue
+                discovered.add(found)
+                if found not in candidates:
+                    candidates.add(found)
+                    progressed = True
+                if on_found is not None:
+                    on_found(found)
+            if stop is not None and stop():
+                stopped = True
+                break
+        if stopped:
+            break
+        new_best = sorted(candidates, key=dist)[:count]
+        if not progressed and new_best == best_known:
+            break
+
+    closest = sorted(candidates, key=dist)[:count]
+    return LookupResult(
+        target=target,
+        closest=closest,
+        queried=queried,
+        discovered=discovered,
+        hops=hops,
+    )
+
+
+def iterative_provide(
+    key: int,
+    query: QueryFn,
+    add_provider: AddProviderFn,
+    provider: PeerId,
+    seeds: Iterable[PeerId],
+    replication: int = DEFAULT_CLOSER_PEERS,
+    alpha: int = DEFAULT_ALPHA,
+    max_queries: int = 64,
+    on_found: Optional[Callable[[PeerId], None]] = None,
+) -> ProvideResult:
+    """Publish a provider record: converge on ``key`` and store the record on
+    the ``replication`` closest servers that accept it."""
+    lookup = iterative_lookup(
+        key,
+        query,
+        seeds,
+        self_id=provider,
+        alpha=alpha,
+        count=max(replication, DEFAULT_CLOSER_PEERS),
+        max_queries=max_queries,
+        on_found=on_found,
+    )
+    stored_on: List[PeerId] = []
+    for peer in lookup.closest:
+        if len(stored_on) >= replication:
+            break
+        if add_provider(peer, key, provider):
+            stored_on.append(peer)
+    return ProvideResult(key=key, stored_on=stored_on, lookup=lookup)
+
+
+def iterative_find_providers(
+    key: int,
+    query_providers: GetProvidersFn,
+    seeds: Iterable[PeerId],
+    self_id: Optional[PeerId] = None,
+    alpha: int = DEFAULT_ALPHA,
+    count: int = DEFAULT_CLOSER_PEERS,
+    max_queries: int = 64,
+    max_providers: int = DEFAULT_CLOSER_PEERS,
+    on_found: Optional[Callable[[PeerId], None]] = None,
+) -> FindProvidersResult:
+    """Resolve the providers of ``key``.
+
+    The walk *is* :func:`iterative_lookup` — GET_PROVIDERS replies are
+    adapted into FIND_NODE-shaped ones (their provider payload accumulates on
+    the side) and the shared walk stops early once ``max_providers`` distinct
+    providers are known.
+    """
+    providers: List[PeerId] = []
+    provider_set: Set[PeerId] = set()
+
+    def query_adapter(peer: PeerId, target: int, reply_count: int) -> Optional[List[PeerId]]:
+        reply = query_providers(peer, key)
+        if reply is None:
+            return None
+        found_providers, closer = reply
+        for candidate in found_providers:
+            if candidate not in provider_set:
+                provider_set.add(candidate)
+                providers.append(candidate)
+        return closer
+
+    lookup = iterative_lookup(
+        key,
+        query_adapter,
+        seeds,
+        self_id=self_id,
+        alpha=alpha,
+        count=count,
+        max_queries=max_queries,
+        on_found=on_found,
+        stop=lambda: len(providers) >= max_providers,
+    )
+    return FindProvidersResult(
+        key=key,
+        providers=providers,
+        queried=lookup.queried,
+        hops=lookup.hops,
+        satisfied=len(providers) >= max_providers,
+    )
+
+
 class KademliaNode:
     """The DHT state machine of a single peer."""
 
@@ -63,13 +267,17 @@ class KademliaNode:
         bucket_size: int = DEFAULT_BUCKET_SIZE,
         alpha: int = DEFAULT_ALPHA,
         rng: Optional[random.Random] = None,
+        provider_store: Optional[ProviderStore] = None,
     ) -> None:
         self.peer_id = peer_id
         self.mode = mode
         self.alpha = alpha
         self.rng = rng or random.Random()
         self.routing_table = RoutingTable(peer_id, bucket_size=bucket_size)
+        self.provider_store = provider_store or ProviderStore()
         self.lookups_performed = 0
+        self.provides_performed = 0
+        self.provider_lookups_performed = 0
 
     # -- mode handling ----------------------------------------------------------
 
@@ -82,11 +290,30 @@ class KademliaNode:
 
     # -- local RPC handlers ------------------------------------------------------
 
-    def handle_find_node(self, target: int, count: int = DEFAULT_CLOSER_PEERS) -> Optional[List[PeerId]]:
+    def handle_find_node(
+        self, target: int, count: int = DEFAULT_CLOSER_PEERS
+    ) -> Optional[List[PeerId]]:
         """Answer a FIND_NODE request; clients do not answer."""
         if not self.is_server:
             return None
         return self.routing_table.closest_peers(target, count)
+
+    def handle_add_provider(self, key: int, provider: PeerId, now: float) -> Optional[bool]:
+        """Store a provider record; clients do not accept them."""
+        if not self.is_server:
+            return None
+        self.provider_store.add(key, provider, now)
+        return True
+
+    def handle_get_providers(
+        self, key: int, now: float, count: int = DEFAULT_CLOSER_PEERS
+    ) -> Optional[Tuple[List[PeerId], List[PeerId]]]:
+        """Answer a GET_PROVIDERS request: (known providers, closer peers)."""
+        if not self.is_server:
+            return None
+        providers = self.provider_store.providers(key, now, limit=count)
+        closer = self.routing_table.closest_peers(key, count)
+        return providers, closer
 
     def observe_peer(self, peer: PeerId, is_server: bool = True) -> None:
         """Record that we heard from ``peer`` (only servers enter the table)."""
@@ -117,48 +344,97 @@ class KademliaNode:
         self.lookups_performed += 1
         candidates: Set[PeerId] = set(seeds or [])
         candidates.update(self.routing_table.closest_peers(target, count))
-        candidates.discard(self.peer_id)
-        queried: Set[PeerId] = set()
-        discovered: Set[PeerId] = set(candidates)
-        hops = 0
-
-        def dist(peer: PeerId) -> int:
-            return xor_distance(key_for_peer(peer), target)
-
-        while len(queried) < max_queries:
-            remaining = sorted(candidates - queried, key=dist)
-            if not remaining:
-                break
-            best_known = sorted(candidates, key=dist)[:count]
-            budget = max_queries - len(queried)
-            batch = remaining[: min(self.alpha, budget)]
-            progressed = False
-            hops += 1
-            for peer in batch:
-                queried.add(peer)
-                reply = query(peer, target, count)
-                if reply is None:
-                    continue
-                for found in reply:
-                    if found == self.peer_id:
-                        continue
-                    discovered.add(found)
-                    if found not in candidates:
-                        candidates.add(found)
-                        progressed = True
-                    self.routing_table.add_peer(found)
-            new_best = sorted(candidates, key=dist)[:count]
-            if not progressed and new_best == best_known:
-                break
-
-        closest = sorted(candidates, key=dist)[:count]
-        return LookupResult(
-            target=target,
-            closest=closest,
-            queried=queried,
-            discovered=discovered,
-            hops=hops,
+        return iterative_lookup(
+            target,
+            query,
+            candidates,
+            self_id=self.peer_id,
+            alpha=self.alpha,
+            count=count,
+            max_queries=max_queries,
+            on_found=self.routing_table.add_peer,
         )
+
+    # -- content routing ----------------------------------------------------------
+
+    def provide(
+        self,
+        key: int,
+        query: QueryFn,
+        add_provider: AddProviderFn,
+        now: float,
+        replication: int = DEFAULT_CLOSER_PEERS,
+        max_queries: int = 64,
+        seeds: Optional[Iterable[PeerId]] = None,
+    ) -> ProvideResult:
+        """Publish a provider record for ``key`` under our own PeerId.
+
+        Converges on the key, asks the ``replication`` closest servers to
+        store the record, and keeps a local copy (go-ipfs also serves its own
+        records while online).
+        """
+        self.provides_performed += 1
+        candidates: Set[PeerId] = set(seeds or [])
+        candidates.update(self.routing_table.closest_peers(key, replication))
+        result = iterative_provide(
+            key,
+            query,
+            add_provider,
+            self.peer_id,
+            candidates,
+            replication=replication,
+            alpha=self.alpha,
+            max_queries=max_queries,
+            on_found=self.routing_table.add_peer,
+        )
+        self.provider_store.add(key, self.peer_id, now)
+        return result
+
+    def find_providers(
+        self,
+        key: int,
+        query_providers: GetProvidersFn,
+        now: float,
+        count: int = DEFAULT_CLOSER_PEERS,
+        max_queries: int = 64,
+        max_providers: int = DEFAULT_CLOSER_PEERS,
+        seeds: Optional[Iterable[PeerId]] = None,
+    ) -> FindProvidersResult:
+        """Resolve the providers of ``key``, checking the local store first."""
+        self.provider_lookups_performed += 1
+        local = self.provider_store.providers(key, now, limit=max_providers)
+        if len(local) >= max_providers:
+            return FindProvidersResult(
+                key=key, providers=local, queried=set(), hops=0, satisfied=True
+            )
+        candidates: Set[PeerId] = set(seeds or [])
+        candidates.update(self.routing_table.closest_peers(key, count))
+        result = iterative_find_providers(
+            key,
+            query_providers,
+            candidates,
+            self_id=self.peer_id,
+            alpha=self.alpha,
+            count=count,
+            max_queries=max_queries,
+            max_providers=max_providers,
+            on_found=self.routing_table.add_peer,
+        )
+        if local:
+            merged = list(local)
+            seen = set(local)
+            for provider in result.providers:
+                if provider not in seen:
+                    seen.add(provider)
+                    merged.append(provider)
+            result = FindProvidersResult(
+                key=key,
+                providers=merged[:max_providers],
+                queried=result.queried,
+                hops=result.hops,
+                satisfied=result.satisfied or len(merged) >= max_providers,
+            )
+        return result
 
     def bootstrap(
         self,

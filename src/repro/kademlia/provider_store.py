@@ -1,0 +1,132 @@
+"""Provider-record storage: who provides which content key.
+
+Content routing is the DHT traffic class the paper's passive vantage points
+actually see most of: peers publish *provider records* (PROVIDE) for the CIDs
+they hold and resolve them (FIND_PROVIDERS) before fetching blocks over
+Bitswap.  A provider record is soft state — go-ipfs expires records 24 h after
+they were stored and republishes its own records every 12 h — so record
+liveness under churn is a property of the publish/republish/expiry race, which
+is exactly what the content-routing scenarios measure.
+
+The store is deliberately simple: per content key an insertion-ordered mapping
+``provider -> ProviderRecord``.  Re-adding a provider refreshes its expiry
+without changing its position, reads filter expired records lazily, and
+:meth:`ProviderStore.expire` sweeps them out (the simulation calls it
+periodically so memory stays bounded at scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.libp2p.peer_id import PeerId
+
+#: go-ipfs provider-record lifetime (24 h).
+DEFAULT_PROVIDER_TTL = 24 * 3_600.0
+#: go-ipfs reprovide interval (12 h) — half the TTL, so a live provider's
+#: records never expire.
+DEFAULT_REPUBLISH_INTERVAL = 12 * 3_600.0
+
+
+@dataclass(frozen=True)
+class ProviderRecord:
+    """One stored (content key, provider) assertion with its expiry."""
+
+    key: int
+    provider: PeerId
+    added_at: float
+    expires_at: float
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+
+class ProviderStore:
+    """TTL-expiring provider records of one DHT server."""
+
+    __slots__ = ("ttl", "_records", "records_added")
+
+    def __init__(self, ttl: float = DEFAULT_PROVIDER_TTL) -> None:
+        if ttl <= 0:
+            raise ValueError(f"provider TTL must be positive, got {ttl}")
+        self.ttl = ttl
+        self._records: Dict[int, Dict[PeerId, ProviderRecord]] = {}
+        #: total ADD_PROVIDER messages accepted (including refreshes)
+        self.records_added = 0
+
+    # -- writes -----------------------------------------------------------------
+
+    def add(
+        self,
+        key: int,
+        provider: PeerId,
+        now: float,
+        ttl: Optional[float] = None,
+    ) -> ProviderRecord:
+        """Store (or refresh) a provider record; returns the stored record."""
+        record = ProviderRecord(
+            key=key,
+            provider=provider,
+            added_at=now,
+            expires_at=now + (self.ttl if ttl is None else ttl),
+        )
+        self._records.setdefault(key, {})[provider] = record
+        self.records_added += 1
+        return record
+
+    def remove(self, key: int, provider: PeerId) -> bool:
+        """Drop one provider record; returns True if it existed."""
+        per_key = self._records.get(key)
+        if per_key is None or provider not in per_key:
+            return False
+        del per_key[provider]
+        if not per_key:
+            del self._records[key]
+        return True
+
+    def expire(self, now: float) -> int:
+        """Sweep out every expired record; returns how many were dropped."""
+        dropped = 0
+        for key in list(self._records):
+            per_key = self._records[key]
+            for provider in [p for p, r in per_key.items() if r.is_expired(now)]:
+                del per_key[provider]
+                dropped += 1
+            if not per_key:
+                del self._records[key]
+        return dropped
+
+    # -- reads ------------------------------------------------------------------
+
+    def providers(self, key: int, now: float, limit: Optional[int] = None) -> List[PeerId]:
+        """Live providers of ``key`` in insertion order (expired filtered)."""
+        per_key = self._records.get(key)
+        if not per_key:
+            return []
+        live = [r.provider for r in per_key.values() if not r.is_expired(now)]
+        return live if limit is None else live[:limit]
+
+    def records_for(self, key: int, now: float) -> List[ProviderRecord]:
+        """Live records of ``key`` in insertion order."""
+        per_key = self._records.get(key)
+        if not per_key:
+            return []
+        return [r for r in per_key.values() if not r.is_expired(now)]
+
+    def has_providers(self, key: int, now: float) -> bool:
+        return bool(self.providers(key, now, limit=1))
+
+    def keys(self) -> Iterable[int]:
+        """Every key with at least one stored (possibly expired) record."""
+        return self._records.keys()
+
+    def key_count(self) -> int:
+        return len(self._records)
+
+    def __len__(self) -> int:
+        """Stored records, including expired ones not yet swept."""
+        return sum(len(per_key) for per_key in self._records.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ProviderStore(keys={self.key_count()}, records={len(self)})"

@@ -9,7 +9,7 @@ Fig. 3, Fig. 4, Table III).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.libp2p.multiaddr import Multiaddr

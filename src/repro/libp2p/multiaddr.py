@@ -13,7 +13,7 @@ from __future__ import annotations
 import ipaddress
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 _KNOWN_PROTOCOLS = {
     "ip4": 1,
@@ -92,7 +92,9 @@ class Multiaddr:
 
     def transport(self) -> Optional[str]:
         """Return the transport protocol ('tcp', 'quic', 'ws', ...)."""
-        transports = [p for p, _ in self.components if p in ("tcp", "udp", "quic", "quic-v1", "ws", "wss")]
+        transports = [
+            p for p, _ in self.components if p in ("tcp", "udp", "quic", "quic-v1", "ws", "wss")
+        ]
         if "quic" in transports or "quic-v1" in transports:
             return "quic"
         if "wss" in transports:
@@ -143,7 +145,9 @@ class Multiaddr:
 def random_public_ipv4(rng: random.Random) -> str:
     """Draw a random globally-routable IPv4 address."""
     while True:
-        octets = [rng.randint(1, 223), rng.randint(0, 255), rng.randint(0, 255), rng.randint(1, 254)]
+        octets = [
+            rng.randint(1, 223), rng.randint(0, 255), rng.randint(0, 255), rng.randint(1, 254)
+        ]
         addr = ipaddress.ip_address(".".join(str(o) for o in octets))
         if not (addr.is_private or addr.is_loopback or addr.is_multicast
                 or addr.is_link_local or addr.is_reserved):

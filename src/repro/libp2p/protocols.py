@@ -43,6 +43,18 @@ BITSWAP_PROTOCOLS: FrozenSet[str] = frozenset(
     {BITSWAP, BITSWAP_100, BITSWAP_110, BITSWAP_120}
 )
 
+# Message types carried by /ipfs/kad/1.0.0.  Peer routing uses FIND_NODE; the
+# content-routing traffic that dominates the real DHT uses ADD_PROVIDER
+# (publish a provider record) and GET_PROVIDERS (resolve one, the reply also
+# carrying closer peers).  The simulation transports are keyed by these names.
+DHT_FIND_NODE = "FIND_NODE"
+DHT_ADD_PROVIDER = "ADD_PROVIDER"
+DHT_GET_PROVIDERS = "GET_PROVIDERS"
+
+DHT_MESSAGE_TYPES: FrozenSet[str] = frozenset(
+    {DHT_FIND_NODE, DHT_ADD_PROVIDER, DHT_GET_PROVIDERS}
+)
+
 
 def baseline_protocols() -> Set[str]:
     """Protocols announced by essentially every go-ipfs-like client."""

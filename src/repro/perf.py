@@ -85,7 +85,11 @@ def measure_period(
     peers = n_peers if n_peers is not None else spec.bench_peers
     days = duration_days
     if days is None:
-        days = spec.bench_duration_days if spec.bench_duration_days is not None else spec.duration_days
+        days = (
+            spec.bench_duration_days
+            if spec.bench_duration_days is not None
+            else spec.duration_days
+        )
 
     start = time.perf_counter()
     result = run_period(

@@ -8,18 +8,26 @@ Two families are registered at import time:
 * six stress scenarios that exercise churn regimes the paper's live
   measurement could not control: flash crowds, diurnal weeks, correlated mass
   outages, client-heavy populations, hydra head scaling, and the active
-  crawler racing a flash crowd.
+  crawler racing a flash crowd, and
+* three content-routing scenarios that run a publish/retrieve workload
+  (provider records with TTL expiry and republish, Zipf-popular items,
+  Bitswap fetches) against the churning fabric: steady publishing under paper
+  churn, a retrieval flash crowd, and a record-expiry regime with republish
+  disabled.
 
 Every stress scenario derives its connection-manager watermarks through the
 same :func:`repro.experiments.periods.scale_watermarks` helper the paper
 periods use, so watermark mechanics stay comparable across the catalog.
+Content scenarios derive their workload intervals from the scenario duration,
+so even heavily compressed sweep cells run the whole publish → resolve →
+expire cycle.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.experiments.periods import PERIODS, scale_watermarks
 from repro.ipfs.config import IpfsConfig
@@ -32,6 +40,7 @@ from repro.simulation.churn_models import (
     FlashCrowdChurnModel,
     MassOutageChurnModel,
 )
+from repro.simulation.content import ContentRoutingConfig
 from repro.simulation.population import (
     PeerClass,
     PopulationConfig,
@@ -256,6 +265,158 @@ def _crawler_vs_passive_under_burst(
     )
 
 
+# -- content-routing scenarios ------------------------------------------------------
+
+#: workload intervals relative to the scenario duration (so compressed cells
+#: still see several publish/retrieve rounds per participant)
+CONTENT_PUBLISH_FRACTION = 1 / 8
+CONTENT_RETRIEVE_FRACTION = 1 / 16
+CONTENT_TTL_FRACTION = 0.5
+CONTENT_REPUBLISH_FRACTION = 0.25
+#: the short-lived records of the expiry scenario
+EXPIRY_TTL_FRACTION = 0.12
+
+FLASH_RETRIEVER_SHARE = 0.6
+FLASH_ZIPF_EXPONENT = 1.4
+
+
+def _content_workload(
+    duration: float,
+    publisher_share: float = 0.06,
+    retriever_share: float = 0.3,
+    zipf_exponent: float = 1.05,
+    ttl_fraction: float = CONTENT_TTL_FRACTION,
+    republish_fraction: Optional[float] = CONTENT_REPUBLISH_FRACTION,
+    retrieve_fraction: float = CONTENT_RETRIEVE_FRACTION,
+) -> ContentRoutingConfig:
+    """A duration-relative content workload shared by the content scenarios."""
+    return ContentRoutingConfig(
+        n_items=32,
+        zipf_exponent=zipf_exponent,
+        publisher_share=publisher_share,
+        retriever_share=retriever_share,
+        publish_interval=duration * CONTENT_PUBLISH_FRACTION,
+        retrieve_interval=duration * retrieve_fraction,
+        provider_ttl=duration * ttl_fraction,
+        republish_interval=(
+            None if republish_fraction is None else duration * republish_fraction
+        ),
+    )
+
+
+def _provide_churn(n_peers: int, duration_days: float, seed: int) -> ScenarioConfig:
+    duration = duration_days * DAY
+    return ScenarioConfig(
+        duration=duration,
+        population=PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        seed=seed,
+    )
+
+
+def _retrieval_flash_crowd(n_peers: int, duration_days: float, seed: int) -> ScenarioConfig:
+    duration = duration_days * DAY
+    burst_start, burst_duration = _burst_window(duration)
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        class_shares=dict(FLASH_CROWD_SHARES),
+        churn_model_factory=_flash_crowd_factory(burst_start, burst_duration),
+        discovery_scale=FLASH_CROWD_DISCOVERY_SCALE,
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(
+            duration,
+            retriever_share=FLASH_RETRIEVER_SHARE,
+            zipf_exponent=FLASH_ZIPF_EXPONENT,
+            retrieve_fraction=1 / 24,
+        ),
+        seed=seed,
+    )
+
+
+def _provider_record_expiry(n_peers: int, duration_days: float, seed: int) -> ScenarioConfig:
+    duration = duration_days * DAY
+    return ScenarioConfig(
+        duration=duration,
+        population=PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(
+            duration,
+            ttl_fraction=EXPIRY_TTL_FRACTION,
+            republish_fraction=None,
+        ),
+        seed=seed,
+    )
+
+
+def _register_content_scenarios() -> None:
+    register(
+        ScenarioSpec(
+            name="provide-churn",
+            description=(
+                "Publishers keep provider records alive (republish at TTL/2 "
+                "pace) against the paper-calibrated churning population"
+            ),
+            builder=_provide_churn,
+            tags=("content", "churn"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "publisher_share": 0.06,
+                "retriever_share": 0.3,
+                "ttl": f"{CONTENT_TTL_FRACTION:g} x duration",
+                "republish": f"{CONTENT_REPUBLISH_FRACTION:g} x duration",
+                "zipf": 1.05,
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="retrieval-flash-crowd",
+            description=(
+                "A one-time-heavy crowd floods in mid-window and hammers the "
+                "hottest items (steep Zipf head) with FIND_PROVIDERS + fetches"
+            ),
+            builder=_retrieval_flash_crowd,
+            tags=("content", "burst"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "retriever_share": FLASH_RETRIEVER_SHARE,
+                "zipf": FLASH_ZIPF_EXPONENT,
+                "intensity": FLASH_CROWD_INTENSITY,
+                "burst": "30 % into the window, 25 % long (≤ 2 h)",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="provider-record-expiry",
+            description=(
+                "Short-TTL provider records with republish disabled: "
+                "retrieval success decays as records expire out"
+            ),
+            builder=_provider_record_expiry,
+            tags=("content", "expiry"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "ttl": f"{EXPIRY_TTL_FRACTION:g} x duration",
+                "republish": "off",
+                "publisher_share": 0.06,
+                "retriever_share": 0.3,
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+
+
 def _register_stress_scenarios() -> None:
     register(
         ScenarioSpec(
@@ -373,3 +534,4 @@ def _register_stress_scenarios() -> None:
 
 _register_paper_periods()
 _register_stress_scenarios()
+_register_content_scenarios()

@@ -91,7 +91,9 @@ class AgentCatalog:
     def sample_goipfs_release(self) -> str:
         return self._weighted_choice(self._goipfs_releases)
 
-    def make_goipfs_agent(self, release: Optional[str] = None, dirty_probability: float = 0.08) -> str:
+    def make_goipfs_agent(
+        self, release: Optional[str] = None, dirty_probability: float = 0.08
+    ) -> str:
         """Build a full go-ipfs agent string with a commit part."""
         release = release or self.sample_goipfs_release()
         commit = self.rng.choice(_COMMIT_POOL)

@@ -12,6 +12,13 @@ This module schedules those behaviours on the event engine and pushes the
 resulting identify updates through the network fabric so the measurement nodes
 observe them the same way the paper's clients did (identify-push / refresh on
 an open connection).
+
+:class:`ContentBehaviors` schedules the other traffic class the paper's
+vantage points sit in the middle of: content routing.  Publishers store
+provider records for Zipf-popular items on the servers closest to each key
+(and republish them), retrievers resolve the records and fetch the block from
+a live provider over Bitswap — all against the same churning fabric, which is
+what makes record liveness a measurable property.
 """
 
 from __future__ import annotations
@@ -20,10 +27,16 @@ import random
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.kademlia.dht import iterative_find_providers, iterative_provide
 from repro.libp2p.agent import parse_goipfs_agent
 from repro.simulation.agents import AgentCatalog
 from repro.simulation.churn_models import HOUR
-from repro.simulation.engine import Engine
+from repro.simulation.content import (
+    ContentRoutingConfig,
+    ContentRoutingStats,
+    ZipfCatalog,
+)
+from repro.simulation.engine import Engine, PeriodicTask
 from repro.simulation.network import SimPeer, SimulatedNetwork
 from repro.simulation.population import VersionBehavior
 
@@ -131,3 +144,175 @@ class MetadataBehaviors:
         self.autonat_flips_applied += 1
         self.network.push_identify(peer)
         self._schedule_autonat_flip(peer, duration)
+
+
+class ContentBehaviors:
+    """Schedules the publish/retrieve content-routing workload."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: SimulatedNetwork,
+        rng: Optional[random.Random] = None,
+        config: Optional[ContentRoutingConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.rng = rng or random.Random(network.population.config.seed + 3)
+        self.config = config or ContentRoutingConfig()
+        self.catalog = ZipfCatalog(self.config.n_items, self.config.zipf_exponent)
+        self.stats = ContentRoutingStats()
+        self._duration = 0.0
+        self._sweep_task: Optional[PeriodicTask] = None
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def schedule_all(self, duration: float) -> None:
+        """Pick publishers/retrievers and schedule their first operations.
+
+        Role draws happen for every general-population peer in index order,
+        so the workload is a pure function of the content RNG seed.
+        """
+        self._duration = duration
+        config = self.config
+        for peer in self.network.peers:
+            profile = peer.profile
+            if profile.is_crawler or profile.is_hydra_head:
+                continue
+            is_publisher = self.rng.random() < config.publisher_share
+            is_retriever = self.rng.random() < config.retriever_share
+            if is_publisher:
+                self.stats.publishers += 1
+                delay = self.rng.uniform(0.0, min(config.publish_interval, duration))
+                self.engine.schedule(delay, self._publish, peer)
+            if is_retriever:
+                self.stats.retrievers += 1
+                delay = self.rng.uniform(0.0, min(config.retrieve_interval, duration))
+                self.engine.schedule(delay, self._retrieve, peer)
+        self._sweep_task = PeriodicTask(self.engine, config.sweep_interval(), self._sweep)
+
+    def finalize(self, now: float) -> ContentRoutingStats:
+        """Close the books: count the records still live on the fabric."""
+        self.stats.records_live_at_end = self.network.provider_record_count(now)
+        return self.stats
+
+    # -- shared helpers -------------------------------------------------------------
+
+    def _schedule_next(self, peer: SimPeer, interval: float, callback) -> None:
+        delay = self.rng.expovariate(1.0 / interval)
+        if self.engine.now + delay > self._duration:
+            return
+        self.engine.schedule(delay, callback, peer)
+
+    def _seeds(self, peer: SimPeer, key: int):
+        """Lookup entry points: bootstrap servers plus own table neighbours."""
+        seeds = list(self.network.bootstrap_peers(self.config.bootstrap_count))
+        if peer.routing_table is not None:
+            seeds.extend(peer.routing_table.closest_peers(key, self.config.bootstrap_count))
+        return seeds
+
+    def _lookup_latency(self, hops: int) -> float:
+        low, high = self.config.per_hop_latency
+        return sum(self.rng.uniform(low, high) for _ in range(hops))
+
+    def _sweep(self, now: float) -> None:
+        self.stats.records_expired += self.network.sweep_provider_stores(now)
+
+    # -- publishing -----------------------------------------------------------------
+
+    def _publish(self, peer: SimPeer) -> None:
+        self._schedule_next(peer, self.config.publish_interval, self._publish)
+        if not peer.online:
+            return
+        item = self.catalog.sample(self.rng)
+        self._do_provide(peer, item, republish=False)
+
+    def _do_provide(self, peer: SimPeer, item: int, republish: bool) -> None:
+        config = self.config
+        network = self.network
+        key = self.catalog.key(item)
+        result = iterative_provide(
+            key,
+            network.dht_query,
+            lambda remote, k, p: network.add_provider(remote, k, p, config.provider_ttl),
+            peer.current_pid,
+            self._seeds(peer, key),
+            replication=config.replication,
+            max_queries=config.max_queries,
+        )
+        peer.ensure_bitswap().add_block(self.catalog.cid(item), self.catalog.block(item))
+        latency = self._lookup_latency(result.hops)
+        stats = self.stats
+        if republish:
+            stats.republishes += 1
+        else:
+            stats.provides += 1
+            if result.succeeded():
+                stats.provide_successes += 1
+            stats.provide_hops.append(result.hops)
+            stats.provide_latencies.append(latency)
+        stats.records_stored += len(result.stored_on)
+        if config.republish_interval is not None:
+            if self.engine.now + config.republish_interval <= self._duration:
+                self.engine.schedule(
+                    config.republish_interval, self._republish, peer, item
+                )
+
+    def _republish(self, peer: SimPeer, item: int) -> None:
+        # An offline node cannot reprovide; its records now race the TTL.
+        if peer.online:
+            self._do_provide(peer, item, republish=True)
+
+    # -- retrieval ------------------------------------------------------------------
+
+    def _retrieve(self, peer: SimPeer) -> None:
+        self._schedule_next(peer, self.config.retrieve_interval, self._retrieve)
+        if not peer.online:
+            return
+        config = self.config
+        network = self.network
+        item = self.catalog.sample(self.rng)
+        cid = self.catalog.cid(item)
+        bitswap = peer.ensure_bitswap()
+        if bitswap.has_block(cid):
+            self.stats.retrievals_local += 1
+            return
+        key = self.catalog.key(item)
+        result = iterative_find_providers(
+            key,
+            network.get_providers,
+            self._seeds(peer, key),
+            self_id=peer.current_pid,
+            max_queries=config.max_queries,
+            max_providers=config.max_providers,
+        )
+        latency = self._lookup_latency(result.hops)
+        success = False
+        for pid in result.providers:
+            provider = network.peers_by_pid.get(pid)
+            if provider is None or provider is peer:
+                continue
+            # A stale record: the provider left or rotated its PID since.
+            if not provider.online or provider.current_pid != pid:
+                continue
+            if provider.bitswap is None:
+                continue
+            block = bitswap.fetch_from(peer.current_pid, pid, provider.bitswap, cid)
+            if block is not None:
+                success = True
+                latency += self.rng.uniform(*config.transfer_latency)
+                break
+        stats = self.stats
+        stats.retrievals += 1
+        if success:
+            stats.retrieval_successes += 1
+        if self.engine.now <= self._duration / 2.0:
+            stats.first_half_retrievals += 1
+            if success:
+                stats.first_half_successes += 1
+        else:
+            stats.second_half_retrievals += 1
+            if success:
+                stats.second_half_successes += 1
+        stats.retrieve_hops.append(result.hops)
+        stats.retrieve_latencies.append(latency)

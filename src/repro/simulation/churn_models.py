@@ -164,13 +164,13 @@ class ChurnModel(Protocol):
 
     max_sessions: Optional[int]
 
-    def initial_state(self, rng: random.Random) -> Tuple[bool, float]:  # pragma: no cover - protocol
+    def initial_state(self, rng: random.Random) -> Tuple[bool, float]:  # pragma: no cover
         ...
 
-    def next_uptime(self, rng: random.Random, now: float = 0.0) -> float:  # pragma: no cover - protocol
+    def next_uptime(self, rng: random.Random, now: float = 0.0) -> float:  # pragma: no cover
         ...
 
-    def next_downtime(self, rng: random.Random, now: float = 0.0) -> float:  # pragma: no cover - protocol
+    def next_downtime(self, rng: random.Random, now: float = 0.0) -> float:  # pragma: no cover
         ...
 
 

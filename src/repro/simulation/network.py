@@ -23,13 +23,14 @@ This module wires the synthetic population to the measurement identities
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-from repro.kademlia.dht import DHTMode
+from repro.ipfs.bitswap import BitswapEngine
 from repro.kademlia.keys import key_for_peer, xor_distance
+from repro.kademlia.provider_store import ProviderStore
 from repro.kademlia.routing_table import RoutingTable
-from repro.libp2p.connection import CloseReason, Connection, Direction
+from repro.libp2p.connection import CloseReason, Connection
 from repro.libp2p.identify import IdentifyRecord
 from repro.libp2p.multiaddr import Multiaddr, addresses_for_peer
 from repro.libp2p.peer_id import PeerId
@@ -93,6 +94,8 @@ class SimPeer:
         "last_online_at",
         "addrs",
         "_dial_addr",
+        "provider_store",
+        "bitswap",
     )
 
     def __init__(self, profile: PeerProfile, rng: random.Random) -> None:
@@ -108,6 +111,10 @@ class SimPeer:
         self.autonat_announced = AUTONAT in profile.protocols
         self.agent = profile.agent
         self.routing_table: Optional[RoutingTable] = None
+        #: content-routing state, created lazily when a workload touches the
+        #: peer (scenarios without content routing never allocate either)
+        self.provider_store: Optional[ProviderStore] = None
+        self.bitswap: Optional[BitswapEngine] = None
         self.last_online_at = float("-inf")
         self.addrs: List[Multiaddr] = addresses_for_peer(
             profile.public_ip, rng, behind_nat=profile.behind_nat
@@ -129,6 +136,18 @@ class SimPeer:
     def dial_addr(self) -> Multiaddr:
         """The multiaddr the measurement node observes for this peer's connections."""
         return self._dial_addr
+
+    def ensure_provider_store(self, ttl: float) -> ProviderStore:
+        """The peer's provider-record store, created on first use."""
+        if self.provider_store is None:
+            self.provider_store = ProviderStore(ttl=ttl)
+        return self.provider_store
+
+    def ensure_bitswap(self) -> BitswapEngine:
+        """The peer's Bitswap engine, created on first use."""
+        if self.bitswap is None:
+            self.bitswap = BitswapEngine()
+        return self.bitswap
 
     def identify_record(self) -> IdentifyRecord:
         protocols = set(self.profile.protocols)
@@ -168,8 +187,9 @@ class MeasurementIdentity:
             is_dht_server = bool(getattr(node, "is_dht_server", True))
         self.is_dht_server = is_dht_server
         role = "server" if is_dht_server else "client"
-        self.measurement = PassiveMeasurement(node, label, measurement_role=role,
-                                              poll_interval=poll_interval)
+        self.measurement = PassiveMeasurement(
+            node, label, measurement_role=role, poll_interval=poll_interval
+        )
         self.neighborhood: Set[PeerId] = set()
 
     @property
@@ -198,6 +218,10 @@ class SimulatedNetwork:
         #: peers currently online, keyed by peer_index (kept incrementally so
         #: per-tick maintenance never scans the whole population)
         self._online: Dict[int, SimPeer] = {}
+        #: peers that ever accepted a provider record (sweep targets)
+        self.provider_peers: List[SimPeer] = []
+        #: memoised bootstrap candidates (immutable profile predicate)
+        self._stable_server_peers: Optional[List[SimPeer]] = None
         self._duration: Optional[float] = None
         self._tasks: List[PeriodicTask] = []
         self._started = False
@@ -220,16 +244,25 @@ class SimulatedNetwork:
         self._compute_neighborhoods()
         for identity in self.identities:
             self._tasks.append(
-                PeriodicTask(self.engine, identity.poll_interval,
-                             lambda now, ident=identity: ident.measurement.poll(now))
+                PeriodicTask(
+                    self.engine,
+                    identity.poll_interval,
+                    lambda now, ident=identity: ident.measurement.poll(now),
+                )
             )
             self._tasks.append(
-                PeriodicTask(self.engine, self.config.identity_tick_interval,
-                             lambda now, ident=identity: self._identity_tick(ident, now))
+                PeriodicTask(
+                    self.engine,
+                    self.config.identity_tick_interval,
+                    lambda now, ident=identity: self._identity_tick(ident, now),
+                )
             )
             self._tasks.append(
-                PeriodicTask(self.engine, self.config.outbound_dial_interval,
-                             lambda now, ident=identity: self._identity_outbound(ident, now))
+                PeriodicTask(
+                    self.engine,
+                    self.config.outbound_dial_interval,
+                    lambda now, ident=identity: self._identity_outbound(ident, now),
+                )
             )
         for peer in self.peers:
             self._schedule_initial_session(peer, duration)
@@ -510,23 +543,85 @@ class SimulatedNetwork:
                 continue
             # Stale entries (peer long offline) have been cleaned from real
             # routing tables; the crawler then no longer sees those nodes.
-            if not entry_peer.online and now - entry_peer.last_online_at > self.config.routing_entry_expiry:
+            offline_for = now - entry_peer.last_online_at
+            if not entry_peer.online and offline_for > self.config.routing_entry_expiry:
                 continue
             fresh.append(pid)
             if len(fresh) >= count:
                 break
         return fresh
 
+    # ----------------------------------------------------------- content routing ----
+
+    def add_provider(
+        self, remote: PeerId, key: int, provider: PeerId, ttl: float
+    ) -> Optional[bool]:
+        """ADD_PROVIDER against a simulated peer (None: unreachable)."""
+        peer = self.peers_by_pid.get(remote)
+        if peer is None or not peer.online or not peer.is_dht_server:
+            return None
+        store = peer.provider_store
+        if store is None:
+            store = peer.ensure_provider_store(ttl)
+            self.provider_peers.append(peer)
+        store.add(key, provider, self.engine.now, ttl=ttl)
+        return True
+
+    def get_providers(
+        self, remote: PeerId, key: int, count: int = 20
+    ) -> Optional[tuple]:
+        """GET_PROVIDERS against a simulated peer: (providers, closer peers)."""
+        peer = self.peers_by_pid.get(remote)
+        if peer is None or not peer.online or not peer.is_dht_server:
+            return None
+        if peer.provider_store is not None:
+            providers = peer.provider_store.providers(key, self.engine.now, limit=count)
+        else:
+            providers = []
+        closer = self.dht_query(remote, key, count) or []
+        return providers, closer
+
+    def sweep_provider_stores(self, now: float) -> int:
+        """Expire provider records on every store; returns records dropped."""
+        dropped = 0
+        for peer in self.provider_peers:
+            if peer.provider_store is not None:
+                dropped += peer.provider_store.expire(now)
+        return dropped
+
+    def provider_record_count(self, now: Optional[float] = None) -> int:
+        """Live provider records across the fabric (all records when now=None)."""
+        total = 0
+        for peer in self.provider_peers:
+            store = peer.provider_store
+            if store is None:
+                continue
+            if now is None:
+                total += len(store)
+            else:
+                total += sum(
+                    len(store.records_for(key, now)) for key in list(store.keys())
+                )
+        return total
+
     def bootstrap_peers(self, count: int = 4) -> List[PeerId]:
-        """Well-known entry points for crawls: long-lived online DHT-Servers."""
-        stable = [
-            p.current_pid
-            for p in self.peers
-            if p.profile.peer_class is PeerClass.HEAVY and p.profile.is_dht_server
-        ]
-        if not stable:
-            stable = [p.current_pid for p in self.peers if p.profile.is_dht_server]
-        return stable[:count]
+        """Well-known entry points for crawls: long-lived online DHT-Servers.
+
+        The candidate set depends only on immutable profile fields, so it is
+        computed once; PIDs resolve at call time (stable peers rarely rotate).
+        Every content publish/retrieve seeds its lookup here, so this must not
+        scan the population per operation.
+        """
+        if self._stable_server_peers is None:
+            stable = [
+                p
+                for p in self.peers
+                if p.profile.peer_class is PeerClass.HEAVY and p.profile.is_dht_server
+            ]
+            if not stable:
+                stable = [p for p in self.peers if p.profile.is_dht_server]
+            self._stable_server_peers = stable
+        return [p.current_pid for p in self._stable_server_peers[:count]]
 
     # ------------------------------------------------------------------ stats ----
 

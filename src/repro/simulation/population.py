@@ -36,7 +36,6 @@ from repro.libp2p.protocols import (
 )
 from repro.simulation.agents import AgentCatalog
 from repro.simulation.churn_models import (
-    DAY,
     HOUR,
     MINUTE,
     ChurnModel,
@@ -304,7 +303,9 @@ def _connection_knobs(
     )
 
 
-def generate_population(config: PopulationConfig, rng: Optional[random.Random] = None) -> Population:
+def generate_population(
+    config: PopulationConfig, rng: Optional[random.Random] = None
+) -> Population:
     """Generate the synthetic population described by ``config``."""
     rng = rng or random.Random(config.seed)
     catalog = AgentCatalog(rng)
@@ -429,7 +430,9 @@ def generate_population(config: PopulationConfig, rng: Optional[random.Random] =
             # Identify never completed: protocols unknown as well.
             protocols = set()
         else:
-            protocols = goipfs_protocols(dht_server=is_server, bitswap=rng.random() < 0.5, modern=False)
+            protocols = goipfs_protocols(
+                dht_server=is_server, bitswap=rng.random() < 0.5, modern=False
+            )
 
         behind_nat = (not is_server) and rng.random() < config.nat_share
         if rng.random() < config.shared_ip_share and shared_ip_pool:

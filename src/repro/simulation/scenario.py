@@ -19,8 +19,9 @@ from repro.crawler.monitor import DEFAULT_CRAWL_INTERVAL, CrawlMonitor
 from repro.hydra.hydra import HydraNode
 from repro.ipfs.config import IpfsConfig
 from repro.ipfs.node import IpfsNode
-from repro.simulation.behaviors import BehaviorConfig, MetadataBehaviors
+from repro.simulation.behaviors import BehaviorConfig, ContentBehaviors, MetadataBehaviors
 from repro.simulation.churn_models import DAY
+from repro.simulation.content import ContentRoutingConfig, ContentRoutingStats
 from repro.simulation.engine import Engine, PeriodicTask
 from repro.simulation.network import (
     MeasurementIdentity,
@@ -54,6 +55,9 @@ class ScenarioConfig:
     #: whether to run the active crawler baseline
     run_crawler: bool = False
     crawl_interval: float = DEFAULT_CRAWL_INTERVAL
+    #: content-routing workload; ``None`` (the default) schedules none, so
+    #: scenarios without one are bit-identical to pre-content builds
+    content: Optional[ContentRoutingConfig] = None
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -89,6 +93,8 @@ class ScenarioResult:
     version_changes: int = 0
     role_flips: int = 0
     autonat_flips: int = 0
+    #: content-routing workload outcome (None when the scenario ran none)
+    content: Optional[ContentRoutingStats] = None
 
     def dataset(self, label: str) -> MeasurementDataset:
         return self.datasets[label]
@@ -121,6 +127,11 @@ class Scenario:
         self.behaviors = MetadataBehaviors(
             self.engine, self.network, random.Random(config.seed + 30), config.behaviors
         )
+        self.content: Optional[ContentBehaviors] = None
+        if config.content is not None:
+            self.content = ContentBehaviors(
+                self.engine, self.network, random.Random(config.seed + 70), config.content
+            )
         self.identities: List[MeasurementIdentity] = []
         self.go_ipfs_node: Optional[IpfsNode] = None
         self.hydra: Optional[HydraNode] = None
@@ -165,6 +176,8 @@ class Scenario:
         config = self.config
         self.network.start(config.duration)
         self.behaviors.schedule_all(config.duration)
+        if self.content is not None:
+            self.content.schedule_all(config.duration)
 
         if config.run_crawler:
             self.crawler = Crawler(
@@ -192,6 +205,10 @@ class Scenario:
                 head_datasets, HYDRA_UNION_LABEL
             )
 
+        content_stats = None
+        if self.content is not None:
+            content_stats = self.content.finalize(config.duration)
+
         return ScenarioResult(
             config=config,
             datasets=datasets,
@@ -201,6 +218,7 @@ class Scenario:
             version_changes=self.behaviors.version_changes_applied,
             role_flips=self.behaviors.role_flips_applied,
             autonat_flips=self.behaviors.autonat_flips_applied,
+            content=content_stats,
         )
 
     def _run_crawl(self, now: float) -> None:

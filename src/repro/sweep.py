@@ -4,8 +4,11 @@ Runs every combination of the requested scenarios × seeds × population sizes
 through the registry, one simulation per cell, optionally fanned out over
 worker processes (the same pool the parallel period runner uses).  Each cell
 writes one JSON summary; the sweep writes an aggregate JSON plus a rendered
-table.  All artifacts are deterministic — no timestamps, no wall-clock
-fields — so two sweeps with the same flags produce byte-identical files.
+table.  A cell that raises does not abort the sweep: the remaining cells
+still run, the failure is reported in the artifacts and on stderr, and the
+CLI exits nonzero.  All artifacts are deterministic — no timestamps, no
+wall-clock fields — so two sweeps with the same flags produce byte-identical
+files.
 
 Examples::
 
@@ -21,8 +24,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
-from typing import Dict, List, Optional, Sequence
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.content_report import content_metrics
 from repro.analysis.sweep_report import (
     CELL_SCHEMA,
     aggregate_payload,
@@ -83,7 +88,12 @@ def summarize_cell(
     peers = n_peers if n_peers is not None else spec.default_peers
     days = duration_days if duration_days is not None else spec.default_duration_days
     result = run_scenario_by_name(name, n_peers=peers, duration_days=days, seed=seed)
+    return summarize_result(spec.name, peers, days, seed, result)
 
+
+def summarize_result(name: str, n_peers: int, duration_days: float, seed: int, result) -> Dict:
+    """Reduce an already-run :class:`ScenarioResult` to a cell summary dict
+    (benchmarks reuse this so cached results are not re-simulated)."""
     churn: Dict[str, Dict[str, float]] = {}
     for label in sorted(result.datasets):
         dataset = result.datasets[label]
@@ -99,9 +109,9 @@ def summarize_cell(
 
     return {
         "schema": CELL_SCHEMA,
-        "scenario": spec.name,
-        "n_peers": peers,
-        "duration_days": days,
+        "scenario": name,
+        "n_peers": n_peers,
+        "duration_days": duration_days,
         "seed": seed,
         "events_processed": result.events_processed,
         "version_changes": result.version_changes,
@@ -111,7 +121,32 @@ def summarize_cell(
         "crawls": len(result.crawls.snapshots),
         "datasets": dataset_counts(result),
         "churn": churn,
+        "content": content_metrics(result.content),
     }
+
+
+def summarize_cell_safe(
+    name: str,
+    n_peers: Optional[int],
+    duration_days: Optional[float],
+    seed: int,
+) -> Dict:
+    """Run one cell, catching failures so one bad cell cannot sink a sweep.
+
+    Returns either a regular cell summary or a failure record carrying the
+    exception; the sweep reports failures and exits nonzero.  Module-level so
+    the process pool can ship it to workers by reference.
+    """
+    try:
+        return summarize_cell(name, n_peers, duration_days, seed)
+    except Exception as exc:  # noqa: BLE001 - any cell failure must be reported
+        return {
+            "scenario": name,
+            "n_peers": n_peers,
+            "duration_days": duration_days,
+            "seed": seed,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
 
 
 def cell_filename(summary: Dict) -> str:
@@ -131,12 +166,12 @@ def run_sweep(
     duration_days: Optional[float],
     out_dir: str,
     workers: Optional[int] = None,
-) -> List[Dict]:
+) -> Tuple[List[Dict], List[Dict]]:
     """Run the cartesian sweep and write all artifacts into ``out_dir``.
 
-    Cell order (and therefore aggregate order) is scenarios × populations ×
-    seeds as given — deterministic for a given flag set even when the cells
-    themselves run in parallel workers.
+    Returns ``(summaries, failures)``.  Cell order (and therefore aggregate
+    order) is scenarios × populations × seeds as given — deterministic for a
+    given flag set even when the cells themselves run in parallel workers.
     """
     for name in scenario_names:
         scenario(name)  # fail fast on unknown names, before any simulation
@@ -146,15 +181,20 @@ def run_sweep(
         for peers in peers_list
         for seed in seeds
     ]
-    summaries: List[Dict] = run_cells(summarize_cell, cells, workers)
+    outcomes: List[Dict] = run_cells(summarize_cell_safe, cells, workers)
+    summaries = [o for o in outcomes if "error" not in o]
+    failures = [o for o in outcomes if "error" in o]
 
     os.makedirs(out_dir, exist_ok=True)
     for summary in summaries:
         _write_json(os.path.join(out_dir, cell_filename(summary)), summary)
-    _write_json(os.path.join(out_dir, "sweep_summary.json"), aggregate_payload(summaries))
+    _write_json(
+        os.path.join(out_dir, "sweep_summary.json"),
+        aggregate_payload(summaries, failures),
+    )
     with open(os.path.join(out_dir, "sweep_table.txt"), "w") as handle:
-        handle.write(render_aggregate(summaries))
-    return summaries
+        handle.write(render_aggregate(summaries, failures))
+    return summaries, failures
 
 
 def catalog_table() -> TextTable:
@@ -195,8 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--duration", type=parse_duration_days, default=None,
-        help="simulated duration per cell, e.g. 0.02d, 12h, 1800s "
-             "(default: each scenario's own)",
+        help=(
+            "simulated duration per cell, e.g. 0.02d, 12h, 1800s "
+            "(default: each scenario's own)"
+        ),
     )
     parser.add_argument(
         "--out", default=DEFAULT_OUT_DIR,
@@ -231,11 +273,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not names or not seeds:
         parser.error("need at least one scenario and one seed")
 
-    summaries = run_sweep(
+    summaries, failures = run_sweep(
         names, seeds, peers_list, args.duration, args.out, workers=args.workers
     )
-    print(render_aggregate(summaries), end="")
+    print(render_aggregate(summaries, failures), end="")
     print(f"\nwrote {len(summaries)} cell summaries to {args.out}/")
+    if failures:
+        for failure in failures:
+            print(
+                f"sweep cell failed: {failure['scenario']} "
+                f"(peers={failure['n_peers']}, seed={failure['seed']}): "
+                f"{failure['error']}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

@@ -1,0 +1,315 @@
+"""End-to-end tests for the content-routing subsystem.
+
+Three layers, mirroring the real stack:
+
+* the DHT layer — iterative PROVIDE / FIND_PROVIDERS against a mesh of
+  :class:`KademliaNode` servers,
+* the node layer — :class:`IpfsNode` publishing a block and another node
+  resolving the provider, dialling it, and fetching the block through the
+  Bitswap ledgers, and
+* the simulation layer — the Zipf publish/retrieve workload of the content
+  scenarios, including the pinned micro-scale golden for ``provide-churn``
+  and the success-decay signature of ``provider-record-expiry``.
+"""
+
+import random
+
+import pytest
+
+from repro.kademlia.dht import DHTMode, KademliaNode
+from repro.kademlia.keys import key_for_content, key_for_peer, xor_distance
+from repro.libp2p.multiaddr import Multiaddr
+from repro.libp2p.peer_id import PeerId
+from repro.ipfs.node import IpfsNode
+from repro.scenarios import run_scenario_by_name
+from repro.simulation.content import ContentRoutingConfig, ZipfCatalog
+
+NOW = 1_000.0
+
+
+def build_server_mesh(n=14, seed=3):
+    """A fully-meshed set of DHT servers, keyed by PeerId."""
+    rng = random.Random(seed)
+    nodes = [KademliaNode(PeerId.random(rng)) for _ in range(n)]
+    for node in nodes:
+        for other in nodes:
+            if other is not node:
+                node.routing_table.add_peer(other.peer_id)
+    return {node.peer_id: node for node in nodes}
+
+
+def mesh_query(mesh):
+    return lambda remote, target, count: (
+        mesh[remote].handle_find_node(target, count) if remote in mesh else None
+    )
+
+
+def mesh_add_provider(mesh):
+    return lambda remote, key, provider: (
+        mesh[remote].handle_add_provider(key, provider, NOW) if remote in mesh else None
+    )
+
+
+def mesh_get_providers(mesh, now=NOW):
+    return lambda remote, key: (
+        mesh[remote].handle_get_providers(key, now) if remote in mesh else None
+    )
+
+
+class TestDhtContentRouting:
+    def test_provide_stores_on_the_closest_servers(self):
+        mesh = build_server_mesh()
+        publisher = KademliaNode(PeerId.random(random.Random(99)))
+        key = key_for_content(b"some content")
+        seeds = list(mesh)[:3]
+        result = publisher.provide(
+            key, mesh_query(mesh), mesh_add_provider(mesh), NOW,
+            replication=4, seeds=seeds,
+        )
+        assert result.succeeded()
+        closest = sorted(mesh, key=lambda p: xor_distance(key_for_peer(p), key))[:4]
+        assert result.stored_on == closest
+        for pid in closest:
+            assert mesh[pid].provider_store.providers(key, NOW) == [publisher.peer_id]
+        # the publisher also keeps a local copy of its own record
+        assert publisher.provider_store.providers(key, NOW) == [publisher.peer_id]
+
+    def test_find_providers_resolves_a_published_record(self):
+        mesh = build_server_mesh()
+        publisher = KademliaNode(PeerId.random(random.Random(99)))
+        retriever = KademliaNode(PeerId.random(random.Random(77)))
+        key = key_for_content(b"some content")
+        seeds = list(mesh)[:3]
+        publisher.provide(
+            key, mesh_query(mesh), mesh_add_provider(mesh), NOW,
+            replication=4, seeds=seeds,
+        )
+        result = retriever.find_providers(
+            key, mesh_get_providers(mesh), NOW, seeds=seeds, max_providers=1
+        )
+        assert result.succeeded()
+        assert result.providers == [publisher.peer_id]
+        assert result.satisfied
+        assert result.hops >= 1
+
+    def test_unpublished_key_resolves_to_nothing(self):
+        mesh = build_server_mesh()
+        retriever = KademliaNode(PeerId.random(random.Random(77)))
+        result = retriever.find_providers(
+            key_for_content(b"never published"),
+            mesh_get_providers(mesh), NOW, seeds=list(mesh)[:3],
+        )
+        assert not result.succeeded()
+        assert result.providers == []
+
+    def test_records_expire_out_of_resolution(self):
+        mesh = build_server_mesh()
+        publisher = KademliaNode(PeerId.random(random.Random(99)))
+        retriever = KademliaNode(PeerId.random(random.Random(77)))
+        key = key_for_content(b"short-lived")
+        seeds = list(mesh)[:3]
+        publisher.provide(key, mesh_query(mesh), mesh_add_provider(mesh), NOW, seeds=seeds)
+        ttl = next(iter(mesh.values())).provider_store.ttl
+        late = NOW + ttl + 1.0
+        result = retriever.find_providers(
+            key, mesh_get_providers(mesh, now=late), late, seeds=seeds
+        )
+        assert result.providers == []
+
+    def test_clients_refuse_provider_rpcs(self):
+        client = KademliaNode(PeerId.random(random.Random(5)), mode=DHTMode.CLIENT)
+        other = PeerId.random(random.Random(6))
+        assert client.handle_add_provider(1234, other, NOW) is None
+        assert client.handle_get_providers(1234, NOW) is None
+
+    def test_local_records_satisfy_the_lookup_without_a_walk(self):
+        node = KademliaNode(PeerId.random(random.Random(5)))
+        key = key_for_content(b"mine")
+        node.provider_store.add(key, node.peer_id, NOW)
+        result = node.find_providers(
+            key, lambda remote, k: None, NOW, max_providers=1
+        )
+        assert result.providers == [node.peer_id]
+        assert result.hops == 0 and result.satisfied
+
+
+class TestIpfsNodeContentE2E:
+    def build_cluster(self, n=8, seed=11):
+        rng = random.Random(seed)
+        nodes = [IpfsNode(rng=random.Random(rng.getrandbits(32))) for _ in range(n)]
+        registry = {node.peer_id: node for node in nodes}
+        addrs = {
+            node.peer_id: Multiaddr.tcp(f"10.1.0.{i + 1}", 4001)
+            for i, node in enumerate(nodes)
+        }
+        for node in nodes:
+            for other in nodes:
+                if other is not node:
+                    node.dht.observe_peer(other.peer_id)
+        def query(remote, target, count):
+            return registry[remote].handle_find_node(target, count) if remote in registry else None
+
+        def add_provider(remote, key, provider):
+            if remote not in registry:
+                return None
+            return registry[remote].handle_add_provider(key, provider, NOW)
+
+        def get_providers(remote, key):
+            return registry[remote].handle_get_providers(key, NOW) if remote in registry else None
+
+        def dial_provider(pid):
+            return (registry[pid].bitswap, addrs[pid]) if pid in registry else None
+
+        return nodes, registry, query, add_provider, get_providers, dial_provider
+
+    def test_publish_then_fetch_moves_the_block_over_bitswap(self):
+        nodes, registry, query, add_provider, get_providers, dial_provider = (
+            self.build_cluster()
+        )
+        publisher, retriever = nodes[0], nodes[-1]
+        data = b"x" * 512
+        provide = publisher.publish_block("bafytest", data, query, add_provider, NOW)
+        assert provide.succeeded()
+        assert publisher.bitswap.has_block("bafytest")
+
+        block = retriever.fetch_block("bafytest", get_providers, dial_provider, NOW)
+        assert block == data
+        assert retriever.bitswap.has_block("bafytest")
+        # the Bitswap ledgers on both sides account for the exchange
+        ledger = publisher.bitswap.ledger_for(retriever.peer_id)
+        assert ledger.blocks_sent == 1 and ledger.bytes_sent == len(data)
+        back = retriever.bitswap.ledger_for(publisher.peer_id)
+        assert back.blocks_received == 1 and back.bytes_received == len(data)
+        # the provider was dialled for the exchange
+        assert retriever.swarm.is_connected(publisher.peer_id)
+
+    def test_fetch_of_unpublished_cid_returns_none(self):
+        nodes, registry, query, add_provider, get_providers, dial_provider = (
+            self.build_cluster()
+        )
+        assert (
+            nodes[0].fetch_block("bafy-missing", get_providers, dial_provider, NOW)
+            is None
+        )
+
+    def test_fetch_prefers_the_local_blockstore(self):
+        nodes, registry, query, add_provider, get_providers, dial_provider = (
+            self.build_cluster()
+        )
+        node = nodes[0]
+        node.bitswap.add_block("bafylocal", b"here already")
+
+        def exploding_get_providers(remote, key):  # pragma: no cover - must not run
+            raise AssertionError("local block should not trigger a lookup")
+
+        block = node.fetch_block(
+            "bafylocal", exploding_get_providers, dial_provider, NOW
+        )
+        assert block == b"here already"
+
+
+class TestZipfCatalog:
+    def test_head_items_dominate(self):
+        catalog = ZipfCatalog(50, exponent=1.1)
+        rng = random.Random(1)
+        samples = [catalog.sample(rng) for _ in range(4000)]
+        head = sum(1 for s in samples if s == 0)
+        tail = sum(1 for s in samples if s == 49)
+        assert head > 10 * max(tail, 1)
+        assert all(0 <= s < 50 for s in samples)
+
+    def test_sampling_is_deterministic(self):
+        catalog = ZipfCatalog(20)
+        first = [catalog.sample(random.Random(7)) for _ in range(50)]
+        second = [catalog.sample(random.Random(7)) for _ in range(50)]
+        assert first == second
+
+    def test_cid_key_block_are_pure(self):
+        catalog = ZipfCatalog(4)
+        other = ZipfCatalog(4)
+        for item in range(4):
+            assert catalog.cid(item) == other.cid(item)
+            assert catalog.key(item) == other.key(item)
+            assert catalog.key(item) == key_for_content(catalog.cid(item).encode())
+            assert catalog.block(item) == other.block(item)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfCatalog(0)
+        with pytest.raises(ValueError):
+            ZipfCatalog(10, exponent=0.0)
+
+
+class TestContentConfigValidation:
+    def test_bad_shares_rejected(self):
+        with pytest.raises(ValueError, match="publisher_share"):
+            ContentRoutingConfig(publisher_share=1.5)
+        with pytest.raises(ValueError, match="retriever_share"):
+            ContentRoutingConfig(retriever_share=-0.1)
+
+    def test_bad_intervals_rejected(self):
+        with pytest.raises(ValueError, match="publish_interval"):
+            ContentRoutingConfig(publish_interval=0.0)
+        with pytest.raises(ValueError, match="provider_ttl"):
+            ContentRoutingConfig(provider_ttl=-1.0)
+        with pytest.raises(ValueError, match="republish_interval"):
+            ContentRoutingConfig(republish_interval=0.0)
+
+    def test_none_republish_disables_republishing(self):
+        config = ContentRoutingConfig(republish_interval=None)
+        assert config.republish_interval is None
+
+    def test_sweep_interval_defaults_to_half_ttl(self):
+        config = ContentRoutingConfig(provider_ttl=100.0)
+        assert config.sweep_interval() == 50.0
+        assert ContentRoutingConfig(expiry_sweep_interval=7.0).sweep_interval() == 7.0
+
+
+class TestContentScenarios:
+    """The simulation-layer workload, pinned at micro scale."""
+
+    #: fixed-seed fingerprint of provide-churn at (60 peers, 0.02 d, seed 11) —
+    #: the content-routing counterpart of the catalog's golden event counts
+    PROVIDE_CHURN_GOLDEN = {
+        "publishers": 1,
+        "retrievers": 16,
+        "provides": 11,
+        "provide_successes": 11,
+        "republishes": 14,
+        "records_stored": 157,
+        "records_expired": 5,
+        "records_live_at_end": 66,
+        "retrievals": 118,
+        "retrieval_successes": 28,
+        "retrievals_local": 32,
+    }
+
+    def micro(self, name):
+        return run_scenario_by_name(name, n_peers=60, duration_days=0.02, seed=11)
+
+    def test_provide_churn_micro_golden(self):
+        stats = self.micro("provide-churn").content
+        observed = {k: getattr(stats, k) for k in self.PROVIDE_CHURN_GOLDEN}
+        assert observed == self.PROVIDE_CHURN_GOLDEN
+
+    def test_rerun_is_fully_deterministic_including_samples(self):
+        first = self.micro("provide-churn").content
+        second = self.micro("provide-churn").content
+        assert first == second  # dataclass equality covers the hop/latency lists
+
+    def test_expiry_scenario_decays_and_leaves_no_records(self):
+        stats = self.micro("provider-record-expiry").content
+        assert stats.republishes == 0
+        assert stats.records_expired > 0
+        assert stats.records_live_at_end == 0
+        assert stats.first_half_retrievals > 0 and stats.second_half_retrievals > 0
+        assert stats.second_half_success_rate < stats.first_half_success_rate
+
+    def test_scenarios_without_content_report_none(self):
+        assert self.micro("p1").content is None
+
+    def test_retrieval_flash_crowd_serves_hot_items_locally(self):
+        stats = self.micro("retrieval-flash-crowd").content
+        # the steep Zipf head means repeat requests hit the local blockstore
+        assert stats.retrievals_local > 0
+        assert stats.retrievals + stats.retrievals_local > stats.retrievals

@@ -81,7 +81,9 @@ class TestVersionChanges:
     def test_dirty_transitions(self):
         dataset = MeasurementDataset(label="x", started_at=0.0, ended_at=1.0)
         dataset.changes = [
-            MetaChangeRecord(1.0, "a", "agent", "go-ipfs/0.11.0/abc-dirty", "go-ipfs/0.11.0/def-dirty"),
+            MetaChangeRecord(
+                1.0, "a", "agent", "go-ipfs/0.11.0/abc-dirty", "go-ipfs/0.11.0/def-dirty"
+            ),
             MetaChangeRecord(2.0, "b", "agent", "go-ipfs/0.11.0/abc-dirty", "go-ipfs/0.12.0/def"),
             MetaChangeRecord(3.0, "c", "agent", "go-ipfs/0.11.0/abc", "go-ipfs/0.10.0/def-dirty"),
         ]

@@ -10,7 +10,7 @@ from repro.core.netsize import (
     estimate_network_size,
     peer_connection_summaries,
 )
-from repro.core.records import ConnectionRecord, MeasurementDataset, PeerRecord
+from repro.core.records import ConnectionRecord, MeasurementDataset
 
 HOUR = 3_600.0
 

@@ -22,8 +22,10 @@ class TestConnectionRecord:
         assert record.duration == 0.0
 
     def test_dict_round_trip(self):
-        record = ConnectionRecord("p", "outbound", 1.0, 2.0, remote_ip="1.2.3.4",
-                                  close_reason="remote-trim", connection_id=7)
+        record = ConnectionRecord(
+            "p", "outbound", 1.0, 2.0, remote_ip="1.2.3.4",
+            close_reason="remote-trim", connection_id=7,
+        )
         assert ConnectionRecord.from_dict(record.as_dict()) == record
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.records import ConnectionRecord, MeasurementDataset, PeerRecord, SnapshotRecord
+from repro.core.records import MeasurementDataset, PeerRecord
 from repro.core.timeseries import (
     DAY,
     connected_peers_over_time,

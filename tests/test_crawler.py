@@ -53,15 +53,19 @@ class TestCrawler:
 
     def test_crawl_counts_queries(self):
         dht = StaticDHT(n_servers=10, n_offline=0)
-        crawler = Crawler(dht.query, bootstrap_peers=dht.servers[:1], buckets_per_peer=4,
-                          rng=random.Random(4))
+        crawler = Crawler(
+            dht.query, bootstrap_peers=dht.servers[:1], buckets_per_peer=4,
+            rng=random.Random(4),
+        )
         snapshot = crawler.crawl(now=0.0)
         assert snapshot.queries_sent > 0
 
     def test_crawl_duration_reflected_in_snapshot(self):
         dht = StaticDHT(n_servers=5, n_offline=0)
-        crawler = Crawler(dht.query, bootstrap_peers=dht.servers[:1], crawl_duration=120.0,
-                          rng=random.Random(5))
+        crawler = Crawler(
+            dht.query, bootstrap_peers=dht.servers[:1], crawl_duration=120.0,
+            rng=random.Random(5),
+        )
         snapshot = crawler.crawl(now=50.0)
         assert snapshot.started_at == 50.0
         assert snapshot.duration() == 120.0
@@ -115,8 +119,9 @@ class TestCrawlMonitor:
                 visit_order.append(remote)
             return replies.get(remote, [])
 
-        crawler = Crawler(query, bootstrap_peers=[root], buckets_per_peer=1,
-                          rng=random.Random(10))
+        crawler = Crawler(
+            query, bootstrap_peers=[root], buckets_per_peer=1, rng=random.Random(10)
+        )
         crawler.crawl(now=0.0)
 
         assert visit_order[0] == root

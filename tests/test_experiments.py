@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.paper_values import PAPER
-from repro.experiments.periods import PERIODS, PeriodSpec, period
+from repro.experiments.periods import PERIODS, period
 from repro.experiments.runner import clear_cache, run_period_cached
 from repro.kademlia.dht import DHTMode
 from repro.simulation.churn_models import DAY

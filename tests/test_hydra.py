@@ -40,7 +40,9 @@ class TestHydraHead:
         head = HydraHead(0, rng=random.Random(4))
         remote = PeerId.random(rng)
         head.handle_inbound_connection(remote, Multiaddr.tcp("5.5.5.5"), 0.0)
-        head.receive_identify(remote, IdentifyRecord.make("go-ipfs/0.11.0", {IPFS_ID, KAD_DHT}), 1.0)
+        head.receive_identify(
+            remote, IdentifyRecord.make("go-ipfs/0.11.0", {IPFS_ID, KAD_DHT}), 1.0
+        )
         assert remote in head.dht.routing_table
 
     def test_head_trim_with_small_watermarks(self, rng):

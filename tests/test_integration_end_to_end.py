@@ -7,7 +7,6 @@ exceeding simultaneous connections, and a classification whose heavy class is a
 small core.
 """
 
-import pytest
 
 from repro.core.churn import connection_statistics, trim_share
 from repro.core.horizon import compare_horizons
@@ -37,8 +36,10 @@ class TestEndToEndPipeline:
 
     def test_passive_horizon_includes_clients_crawler_does_not(self, small_scenario_result):
         comparison = compare_horizons(
-            {"go-ipfs": small_scenario_result.dataset("go-ipfs"),
-             "hydra": small_scenario_result.dataset("hydra")},
+            {
+                "go-ipfs": small_scenario_result.dataset("go-ipfs"),
+                "hydra": small_scenario_result.dataset("hydra"),
+            },
             crawler_range=small_scenario_result.crawls.range(),
         )
         assert comparison.passive_sees_clients()

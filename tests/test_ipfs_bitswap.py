@@ -1,6 +1,5 @@
 """Tests for the Bitswap engine stub."""
 
-import random
 
 from repro.ipfs.bitswap import BitswapEngine
 from repro.libp2p.peer_id import PeerId

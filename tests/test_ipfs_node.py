@@ -106,7 +106,9 @@ class TestIpfsNode:
     def test_known_peer_count_accumulates(self, rng):
         node = make_node(low=1, high=2)
         for i in range(6):
-            conn = node.handle_inbound_connection(PeerId.random(rng), Multiaddr.tcp("1.1.1.1"), float(i))
+            conn = node.handle_inbound_connection(
+                PeerId.random(rng), Multiaddr.tcp("1.1.1.1"), float(i)
+            )
             node.close_connection(conn, CloseReason.REMOTE_LEFT, float(i) + 0.5)
         # the peerstore remembers peers even after they disconnect
         assert node.known_peer_count() == 6

@@ -1,6 +1,5 @@
 """Tests for the peerstore and its change log."""
 
-import random
 
 from repro.ipfs.peerstore import ChangeKind, Peerstore
 from repro.libp2p.identify import IdentifyRecord

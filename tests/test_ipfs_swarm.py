@@ -25,8 +25,12 @@ class RecordingListener:
 
 def make_swarm(low=2, high=3):
     local = PeerId.random(random.Random(0))
-    return Swarm(local, ConnManagerConfig(low_water=low, high_water=high,
-                                          grace_period=0.0, silence_period=0.0))
+    return Swarm(
+        local,
+        ConnManagerConfig(
+            low_water=low, high_water=high, grace_period=0.0, silence_period=0.0
+        ),
+    )
 
 
 def open_conn(swarm, rng, now=0.0, direction=Direction.INBOUND):

@@ -1,9 +1,7 @@
 """Tests for agent-version string parsing and classification."""
 
-import pytest
 
 from repro.libp2p.agent import (
-    GoIpfsVersion,
     goipfs_release_group,
     is_crawler_agent,
     is_goipfs_agent,

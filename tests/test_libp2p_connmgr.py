@@ -5,7 +5,6 @@ trimmed from HighWater down to LowWater, protected/graced connections survive,
 and higher thresholds mean longer-lived connections.
 """
 
-import random
 
 import pytest
 
@@ -17,7 +16,9 @@ from repro.libp2p.peer_id import PeerId
 
 def make_manager(low=3, high=5, grace=0.0, silence=0.0):
     return ConnectionManager(
-        ConnManagerConfig(low_water=low, high_water=high, grace_period=grace, silence_period=silence)
+        ConnManagerConfig(
+            low_water=low, high_water=high, grace_period=grace, silence_period=silence
+        )
     )
 
 

@@ -7,14 +7,11 @@ must not change a single count.
 """
 
 import json
-import os
 
-import pytest
 
 from repro import perf
 from repro.experiments.runner import (
     bench_workers,
-    clear_cache,
     measure_periods,
     run_period,
     run_periods,

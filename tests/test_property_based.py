@@ -167,7 +167,7 @@ class TestClassificationProperties:
         ]
 
 
-# -- dataset-level invariants --------------------------------------------------------------------------
+# -- dataset-level invariants -------------------------------------------------------
 
 
 class TestDatasetProperties:
@@ -181,7 +181,8 @@ class TestDatasetProperties:
         assert report.peer_stats.count <= report.all_stats.count
         if report.all_stats.count:
             durations_seen = [c.duration for c in dataset.connections]
-            assert min(durations_seen) - 1e-9 <= report.all_stats.average <= max(durations_seen) + 1e-9
+            low, high = min(durations_seen) - 1e-9, max(durations_seen) + 1e-9
+            assert low <= report.all_stats.average <= high
 
     @given(connection_specs)
     @settings(max_examples=40, deadline=None)
@@ -204,7 +205,7 @@ class TestDatasetProperties:
         assert estimate.classified_peers == len(dataset.connections_by_peer())
 
 
-# -- connection manager ---------------------------------------------------------------------------------
+# -- connection manager -------------------------------------------------------------
 
 
 class TestConnManagerProperties:
@@ -217,8 +218,9 @@ class TestConnManagerProperties:
     @settings(max_examples=40, deadline=None)
     def test_trim_never_leaves_more_than_low_water_unprotected(self, n_conns, low, extra, seed):
         rng = random.Random(seed)
-        config = ConnManagerConfig(low_water=low, high_water=low + extra,
-                                   grace_period=0.0, silence_period=0.0)
+        config = ConnManagerConfig(
+            low_water=low, high_water=low + extra, grace_period=0.0, silence_period=0.0
+        )
         manager = ConnectionManager(config)
         for _ in range(n_conns):
             conn = Connection(

@@ -39,6 +39,12 @@ STRESS_NAMES = [
     "crawler-vs-passive-under-burst",
 ]
 
+CONTENT_NAMES = [
+    "provide-churn",
+    "retrieval-flash-crowd",
+    "provider-record-expiry",
+]
+
 
 class TestRegistry:
     def test_all_paper_periods_registered(self):
@@ -47,6 +53,9 @@ class TestRegistry:
 
     def test_all_stress_scenarios_registered(self):
         assert scenario_names("stress") == STRESS_NAMES
+
+    def test_all_content_scenarios_registered(self):
+        assert scenario_names("content") == CONTENT_NAMES
 
     def test_lookup_is_case_insensitive(self):
         assert scenario("P1") is scenario("p1")
@@ -155,6 +164,9 @@ class TestGoldenEventCounts:
         "client-heavy": {"events": 216, "connections": 32},
         "hydra-scaling": {"events": 930, "connections": 414},
         "crawler-vs-passive-under-burst": {"events": 275, "connections": 46},
+        "provide-churn": {"events": 527, "connections": 36},
+        "retrieval-flash-crowd": {"events": 1244, "connections": 46},
+        "provider-record-expiry": {"events": 514, "connections": 36},
     }
 
     def test_golden_covers_the_whole_catalog(self):
@@ -178,6 +190,48 @@ class TestGoldenEventCounts:
             assert {k: len(v.connections) for k, v in first.datasets.items()} == {
                 k: len(v.connections) for k, v in second.datasets.items()
             }
+
+
+class TestContentScenarioConfigs:
+    def test_provide_churn_runs_a_content_workload(self):
+        config = build_scenario_config("provide-churn", n_peers=60, duration_days=0.1)
+        content = config.content
+        assert content is not None
+        assert content.republish_interval is not None
+        assert content.republish_interval < content.provider_ttl
+        assert 0 < content.publisher_share < content.retriever_share
+
+    def test_expiry_scenario_disables_republish_with_short_ttl(self):
+        config = build_scenario_config(
+            "provider-record-expiry", n_peers=60, duration_days=0.1
+        )
+        content = config.content
+        assert content.republish_interval is None
+        assert content.provider_ttl < config.duration / 2
+
+    def test_retrieval_flash_crowd_combines_crowd_and_hot_head(self):
+        config = build_scenario_config(
+            "retrieval-flash-crowd", n_peers=60, duration_days=0.1
+        )
+        population = generate_population(config.population, random.Random(1))
+        models = [
+            p.session_model
+            for p in population
+            if not (p.is_hydra_head or p.is_crawler or p.is_pid_farm)
+        ]
+        assert models and all(isinstance(m, FlashCrowdChurnModel) for m in models)
+        assert config.content.zipf_exponent > 1.2
+        assert config.content.retriever_share >= 0.5
+
+    def test_workload_intervals_scale_with_duration(self):
+        short = build_scenario_config("provide-churn", n_peers=60, duration_days=0.1)
+        long = build_scenario_config("provide-churn", n_peers=60, duration_days=1.0)
+        assert long.content.publish_interval == pytest.approx(
+            10 * short.content.publish_interval
+        )
+        assert long.content.provider_ttl == pytest.approx(
+            10 * short.content.provider_ttl
+        )
 
 
 class TestScenarioConfigValidation:

@@ -8,7 +8,6 @@ from repro.simulation.churn_models import DAY, HOUR
 from repro.simulation.engine import Engine
 from repro.simulation.network import MeasurementIdentity, SimulatedNetwork
 from repro.simulation.population import (
-    PeerClass,
     PopulationConfig,
     VersionBehavior,
     generate_population,
@@ -17,8 +16,15 @@ from repro.ipfs.config import IpfsConfig
 from repro.ipfs.node import IpfsNode
 
 
-def build(n_peers=150, seed=4, upgrade_share=0.2, downgrade_share=0.1, change_share=0.1,
-          role_flip_share=0.3, autonat_flip_share=0.3):
+def build(
+    n_peers=150,
+    seed=4,
+    upgrade_share=0.2,
+    downgrade_share=0.1,
+    change_share=0.1,
+    role_flip_share=0.3,
+    autonat_flip_share=0.3,
+):
     engine = Engine()
     config = PopulationConfig(
         n_peers=n_peers,

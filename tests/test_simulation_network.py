@@ -7,9 +7,9 @@ import pytest
 from repro.core.churn import connection_statistics
 from repro.ipfs.config import IpfsConfig
 from repro.kademlia.dht import DHTMode
-from repro.simulation.churn_models import DAY, HOUR
+from repro.simulation.churn_models import HOUR
 from repro.simulation.engine import Engine
-from repro.simulation.network import MeasurementIdentity, NetworkConfig, SimulatedNetwork
+from repro.simulation.network import MeasurementIdentity, SimulatedNetwork
 from repro.simulation.population import PopulationConfig, generate_population
 from repro.simulation.scenario import Scenario, ScenarioConfig
 from repro.ipfs.node import IpfsNode
@@ -17,13 +17,17 @@ from repro.ipfs.node import IpfsNode
 
 def build_network(n_peers=120, seed=5, go_ipfs_config=None):
     engine = Engine()
-    population = generate_population(PopulationConfig(n_peers=n_peers, seed=seed),
-                                     random.Random(seed))
+    population = generate_population(
+        PopulationConfig(n_peers=n_peers, seed=seed), random.Random(seed)
+    )
     network = SimulatedNetwork(engine, population, random.Random(seed + 1))
-    node = IpfsNode(go_ipfs_config or IpfsConfig(low_water=50, high_water=80),
-                    rng=random.Random(seed + 2))
-    identity = MeasurementIdentity("go-ipfs", node, poll_interval=30.0,
-                                   is_dht_server=node.is_dht_server)
+    node = IpfsNode(
+        go_ipfs_config or IpfsConfig(low_water=50, high_water=80),
+        rng=random.Random(seed + 2),
+    )
+    identity = MeasurementIdentity(
+        "go-ipfs", node, poll_interval=30.0, is_dht_server=node.is_dht_server
+    )
     network.add_measurement_identity(identity)
     return engine, network, identity
 
@@ -58,8 +62,10 @@ class TestNetworkLifecycle:
         reasons = {c.close_reason for c in dataset.connections}
         # remote trimming must be present; invalid reasons must not appear
         assert "remote-trim" in reasons
-        valid = {"remote-trim", "remote-left", "local-trim", "protocol-done",
-                 "still-open", "local-shutdown", "error"}
+        valid = {
+            "remote-trim", "remote-left", "local-trim", "protocol-done",
+            "still-open", "local-shutdown", "error",
+        }
         assert reasons <= valid
 
     def test_dht_query_answers_only_online_servers(self):

@@ -26,8 +26,14 @@ class TestPopulationConfig:
 
     def test_rejects_bad_class_shares(self):
         with pytest.raises(ValueError):
-            PopulationConfig(class_shares={PeerClass.HEAVY: 0.5, PeerClass.NORMAL: 0.2,
-                                           PeerClass.LIGHT: 0.2, PeerClass.ONE_TIME: 0.2})
+            PopulationConfig(
+                class_shares={
+                    PeerClass.HEAVY: 0.5,
+                    PeerClass.NORMAL: 0.2,
+                    PeerClass.LIGHT: 0.2,
+                    PeerClass.ONE_TIME: 0.2,
+                }
+            )
 
     def test_scaled_to_paper_scales_special_populations(self):
         small = PopulationConfig.scaled_to_paper(600)

@@ -22,6 +22,7 @@ from repro.sweep import (
     main,
     parse_duration_days,
     summarize_cell,
+    summarize_cell_safe,
 )
 
 MICRO_FLAGS = [
@@ -123,6 +124,87 @@ class TestMicroSweep:
             first = (micro_sweep / name).read_bytes()
             second = (rerun / name).read_bytes()
             assert first == second, f"{name} differs between identical sweeps"
+
+
+class TestContentCells:
+    def test_content_scenarios_report_retrieval_quality(self, tmp_path):
+        out = tmp_path / "content"
+        assert main([
+            "--scenarios", "provide-churn",
+            "--seeds", "7",
+            "--peers", "50",
+            "--duration", "0.02d",
+            "--out", str(out),
+        ]) == 0
+        with open(out / "provide-churn__n50__s7.json") as handle:
+            summary = json.load(handle)
+        content = summary["content"]
+        assert content["retrievals"] > 0
+        assert 0.0 <= content["retrieval_success_rate"] <= 1.0
+        for block in ("retrieve_hops", "retrieve_latency", "provide_hops"):
+            assert set(content[block]) == {"p50", "p90", "p99"}
+        assert content["retrieve_hops"]["p50"] <= content["retrieve_hops"]["p99"]
+        table = (out / "sweep_table.txt").read_text()
+        assert "Retr OK" in table
+
+    def test_non_content_cells_carry_null(self, micro_sweep):
+        with open(micro_sweep / "p1__n50__s7.json") as handle:
+            summary = json.load(handle)
+        assert summary["content"] is None
+
+
+class TestFailingCells:
+    """Satellite: a failing cell must not sink the sweep, but must exit nonzero."""
+
+    BAD_FLAGS = [
+        "--scenarios", "p1",
+        "--seeds", "7",
+        "--peers", "-5",          # PopulationConfig rejects n_peers <= 0
+        "--duration", "0.01d",
+    ]
+
+    def test_failing_cell_exits_nonzero(self, tmp_path, capsys):
+        exit_code = main(self.BAD_FLAGS + ["--out", str(tmp_path / "bad")])
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "sweep cell failed" in err and "n_peers" in err
+
+    def test_failure_is_recorded_in_the_artifacts(self, tmp_path):
+        out = tmp_path / "bad"
+        main(self.BAD_FLAGS + ["--out", str(out)])
+        with open(out / "sweep_summary.json") as handle:
+            aggregate = json.load(handle)
+        assert aggregate["totals"]["cells"] == 0
+        assert aggregate["totals"]["failed_cells"] == 1
+        failure = aggregate["failures"][0]
+        assert failure["scenario"] == "p1"
+        assert "ValueError" in failure["error"]
+        assert "FAILED p1" in (out / "sweep_table.txt").read_text()
+
+    def test_good_cells_still_run_alongside_a_failure(self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+
+        real = sweep_mod.summarize_cell
+
+        def flaky(name, n_peers, duration_days, seed):
+            if seed == 8:
+                raise RuntimeError("boom")
+            return real(name, n_peers, duration_days, seed)
+
+        monkeypatch.setattr(sweep_mod, "summarize_cell", flaky)
+        out = tmp_path / "mixed"
+        exit_code = main([
+            "--scenarios", "p1", "--seeds", "7,8", "--peers", "30",
+            "--duration", "0.01d", "--out", str(out),
+        ])
+        assert exit_code == 1
+        assert (out / "p1__n30__s7.json").exists()
+        assert not (out / "p1__n30__s8.json").exists()
+
+    def test_safe_wrapper_returns_an_error_record(self):
+        record = summarize_cell_safe("p1", -5, 0.01, 7)
+        assert record["scenario"] == "p1"
+        assert record["error"].startswith("ValueError")
 
 
 class TestCliParsing:
