@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.attack_report import attack_headline
 from repro.analysis.tables import TextTable, format_count
 
 #: schema tags of the sweep artifacts
@@ -48,6 +49,9 @@ def aggregate_payload(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) 
         ),
         "retrievals": sum(c["retrievals"] for c in content_blocks),
         "retrieval_successes": sum(c["retrieval_successes"] for c in content_blocks),
+        "attackers": sum(
+            s["adversary"]["attackers"] for s in summaries if s.get("adversary")
+        ),
     }
     return {
         "schema": SWEEP_SCHEMA,
@@ -63,7 +67,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
         headers=[
             "Scenario", "Peers", "Seed", "Events", "Dataset",
             "PIDs", "Conns", "Avg dur (s)", "Trim share", "Queries",
-            "Retr", "Retr OK",
+            "Retr", "Retr OK", "Atk", "Attack",
         ],
         title="Scenario sweep",
     )
@@ -72,6 +76,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
         counts = summary["datasets"].get(label, {}) if label else {}
         churn = summary.get("churn", {}).get(label, {}) if label else {}
         content = summary.get("content")
+        adversary = summary.get("adversary")
         table.add_row(
             summary["scenario"],
             summary["n_peers"],
@@ -85,6 +90,8 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
             format_count(summary["queries_sent"]),
             format_count(content["retrievals"]) if content else "-",
             f"{content['retrieval_success_rate']:.2f}" if content else "-",
+            format_count(adversary["attackers"]) if adversary else "-",
+            attack_headline(adversary),
         )
     return table
 
@@ -105,6 +112,8 @@ def render_aggregate(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) -
         totals_line += (
             f", {format_count(totals['retrievals'])} retrievals ({ok:.0%} ok)"
         )
+    if totals["attackers"]:
+        totals_line += f", {format_count(totals['attackers'])} attackers"
     lines.append(totals_line)
     for failure in failures:
         lines.append(

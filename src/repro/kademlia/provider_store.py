@@ -8,17 +8,25 @@ they were stored and republishes its own records every 12 h — so record
 liveness under churn is a property of the publish/republish/expiry race, which
 is exactly what the content-routing scenarios measure.
 
-The store is deliberately simple: per content key an insertion-ordered mapping
+The store keeps, per content key, an insertion-ordered mapping
 ``provider -> ProviderRecord``.  Re-adding a provider refreshes its expiry
-without changing its position, reads filter expired records lazily, and
-:meth:`ProviderStore.expire` sweeps them out (the simulation calls it
-periodically so memory stays bounded at scale).
+without changing its position and reads filter expired records lazily.
+
+:meth:`ProviderStore.expire` sweeps expired records *incrementally*: every
+write also pushes ``(expires_at, key, provider)`` onto a min-heap, and a sweep
+only pops the heap prefix that is actually due — O(dropped log n) instead of
+a full scan of every stored record.  Refreshes and removals leave stale heap
+entries behind; they are recognised (the live record's expiry no longer
+matches) and discarded lazily when popped, the standard lazy-deletion
+pattern.  At simulation scale most sweeps drop nothing, which the heap makes
+an O(1) peek instead of an all-keys walk.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.libp2p.peer_id import PeerId
 
@@ -45,7 +53,7 @@ class ProviderRecord:
 class ProviderStore:
     """TTL-expiring provider records of one DHT server."""
 
-    __slots__ = ("ttl", "_records", "records_added")
+    __slots__ = ("ttl", "_records", "records_added", "_expiry_heap")
 
     def __init__(self, ttl: float = DEFAULT_PROVIDER_TTL) -> None:
         if ttl <= 0:
@@ -54,6 +62,9 @@ class ProviderStore:
         self._records: Dict[int, Dict[PeerId, ProviderRecord]] = {}
         #: total ADD_PROVIDER messages accepted (including refreshes)
         self.records_added = 0
+        #: (expires_at, key, provider) min-heap driving incremental sweeps;
+        #: may hold stale entries for refreshed/removed records (lazy deletion)
+        self._expiry_heap: List[Tuple[float, int, PeerId]] = []
 
     # -- writes -----------------------------------------------------------------
 
@@ -73,6 +84,7 @@ class ProviderStore:
         )
         self._records.setdefault(key, {})[provider] = record
         self.records_added += 1
+        heapq.heappush(self._expiry_heap, (record.expires_at, key, provider))
         return record
 
     def remove(self, key: int, provider: PeerId) -> bool:
@@ -86,13 +98,25 @@ class ProviderStore:
         return True
 
     def expire(self, now: float) -> int:
-        """Sweep out every expired record; returns how many were dropped."""
+        """Sweep out every expired record; returns how many were dropped.
+
+        Pops only the due prefix of the expiry heap.  A popped entry whose
+        live record carries a different expiry is stale (the record was
+        refreshed — its newer heap entry is still queued — or removed) and is
+        discarded without touching the store.
+        """
+        heap = self._expiry_heap
         dropped = 0
-        for key in list(self._records):
-            per_key = self._records[key]
-            for provider in [p for p, r in per_key.items() if r.is_expired(now)]:
-                del per_key[provider]
-                dropped += 1
+        while heap and heap[0][0] <= now:
+            expires_at, key, provider = heapq.heappop(heap)
+            per_key = self._records.get(key)
+            if per_key is None:
+                continue
+            record = per_key.get(provider)
+            if record is None or record.expires_at != expires_at:
+                continue  # stale heap entry
+            del per_key[provider]
+            dropped += 1
             if not per_key:
                 del self._records[key]
         return dropped

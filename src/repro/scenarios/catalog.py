@@ -1,26 +1,33 @@
 """The built-in scenario catalog.
 
-Two families are registered at import time:
+Four families are registered at import time:
 
 * the six paper measurement periods (``p0`` … ``p4``, ``p14``), thin wrappers
   around :mod:`repro.experiments.periods` so the sweep CLI can run Table I
-  rows by name, and
+  rows by name,
 * six stress scenarios that exercise churn regimes the paper's live
   measurement could not control: flash crowds, diurnal weeks, correlated mass
   outages, client-heavy populations, hydra head scaling, and the active
-  crawler racing a flash crowd, and
+  crawler racing a flash crowd,
 * three content-routing scenarios that run a publish/retrieve workload
   (provider records with TTL expiry and republish, Zipf-popular items,
   Bitswap fetches) against the churning fabric: steady publishing under paper
   churn, a retrieval flash crowd, and a record-expiry regime with republish
-  disabled.
+  disabled, and
+* four adversarial scenarios (:mod:`repro.adversary`) that attack the
+  measurements themselves: a Sybil flood inflating density-based network-size
+  estimates, an eclipse ring capturing provider records, routing
+  poisoners/droppers degrading lookups and the crawler, and churn spoofers
+  polluting the Table IV classification.
 
 Every stress scenario derives its connection-manager watermarks through the
 same :func:`repro.experiments.periods.scale_watermarks` helper the paper
 periods use, so watermark mechanics stay comparable across the catalog.
-Content scenarios derive their workload intervals from the scenario duration,
-so even heavily compressed sweep cells run the whole publish → resolve →
-expire cycle.
+Content and adversarial scenarios derive their workload intervals and attack
+windows from the scenario duration, so even heavily compressed sweep cells
+run the whole publish → resolve → expire (and join → attack → distort)
+cycle.  The adversarial builders take an optional strength override
+(``sybil_count`` etc.) so benchmarks can sweep attack power.
 """
 
 from __future__ import annotations
@@ -29,6 +36,13 @@ import random
 from dataclasses import replace
 from typing import Dict, Optional
 
+from repro.adversary.config import (
+    AdversaryConfig,
+    ChurnSpoofConfig,
+    EclipseConfig,
+    RoutingPoisonConfig,
+    SybilFloodConfig,
+)
 from repro.experiments.periods import PERIODS, scale_watermarks
 from repro.ipfs.config import IpfsConfig
 from repro.kademlia.dht import DHTMode
@@ -417,6 +431,214 @@ def _register_content_scenarios() -> None:
     )
 
 
+# -- adversarial scenarios ----------------------------------------------------------
+
+#: sybils as a share of the honest population (identities are cheap)
+SYBIL_SHARE = 0.30
+SYBIL_CLOSENESS_BITS = 12
+#: sybil join ramp, as fractions of the window
+SYBIL_ARRIVAL_SPAN = (0.05, 0.5)
+
+ECLIPSE_SHARE = 0.05
+ECLIPSE_MIN = 16
+ECLIPSE_VICTIM_ITEMS = 2
+ECLIPSE_CLOSENESS_BITS = 24
+
+POISON_SHARE = 0.08
+POISON_DROP_SHARE = 0.5
+
+SPOOF_SHARE = 0.25
+#: spoofer session/downtime as fractions of the window (≥ the floors below)
+SPOOF_SESSION_FRACTION = 1 / 40
+SPOOF_DOWNTIME_FRACTION = 1 / 60
+
+
+def _adversarial_population(
+    n_peers: int, seed: int, adversary: AdversaryConfig
+) -> PopulationConfig:
+    return replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed), adversary=adversary
+    )
+
+
+def sybil_netsize_config(
+    n_peers: int, duration_days: float, seed: int, sybil_count: Optional[int] = None
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    count = sybil_count if sybil_count is not None else max(8, int(round(n_peers * SYBIL_SHARE)))
+    low, high = SYBIL_ARRIVAL_SPAN
+    adversary = AdversaryConfig(
+        sybil=SybilFloodConfig(
+            count=count,
+            closeness_bits=SYBIL_CLOSENESS_BITS,
+            arrival_window=(duration * low, duration * high),
+        )
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=_adversarial_population(n_peers, seed, adversary),
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        seed=seed,
+    )
+
+
+def eclipse_provider_config(
+    n_peers: int, duration_days: float, seed: int, eclipse_count: Optional[int] = None
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    count = (
+        eclipse_count
+        if eclipse_count is not None
+        else max(ECLIPSE_MIN, int(round(n_peers * ECLIPSE_SHARE)))
+    )
+    adversary = AdversaryConfig(
+        eclipse=EclipseConfig(
+            count=count,
+            victim_items=ECLIPSE_VICTIM_ITEMS,
+            closeness_bits=ECLIPSE_CLOSENESS_BITS,
+            shadow_publish_interval=duration / 6.0,
+        )
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=_adversarial_population(n_peers, seed, adversary),
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        seed=seed,
+    )
+
+
+def poisoned_routing_config(
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    poison_count: Optional[int] = None,
+    drop_share: float = POISON_DROP_SHARE,
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    count = (
+        poison_count
+        if poison_count is not None
+        else max(12, int(round(n_peers * POISON_SHARE)))
+    )
+    adversary = AdversaryConfig(
+        poison=RoutingPoisonConfig(count=count, drop_share=drop_share)
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=_adversarial_population(n_peers, seed, adversary),
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        run_crawler=True,
+        crawl_interval=max(duration / 3.0, 600.0),
+        seed=seed,
+    )
+
+
+def spoofed_churn_config(
+    n_peers: int, duration_days: float, seed: int, spoof_count: Optional[int] = None
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    count = (
+        spoof_count
+        if spoof_count is not None
+        else max(10, int(round(n_peers * SPOOF_SHARE)))
+    )
+    adversary = AdversaryConfig(
+        churn_spoof=ChurnSpoofConfig(
+            count=count,
+            session_mean=max(duration * SPOOF_SESSION_FRACTION, 30.0),
+            downtime_mean=max(duration * SPOOF_DOWNTIME_FRACTION, 20.0),
+        )
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=_adversarial_population(n_peers, seed, adversary),
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        seed=seed,
+    )
+
+
+def _register_adversary_scenarios() -> None:
+    register(
+        ScenarioSpec(
+            name="sybil-netsize-inflation",
+            description=(
+                "A Sybil flood mined into the vantage point's neighbourhood "
+                "inflates density-based network-size estimates"
+            ),
+            builder=sybil_netsize_config,
+            tags=("adversary", "sybil"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "sybil_share": SYBIL_SHARE,
+                "closeness_bits": SYBIL_CLOSENESS_BITS,
+                "arrival": "5–50 % of the window",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="eclipse-provider",
+            description=(
+                "An eclipse ring mined around the hottest content keys "
+                "captures provider records and starves retrievals"
+            ),
+            builder=eclipse_provider_config,
+            tags=("adversary", "eclipse"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "eclipse_share": ECLIPSE_SHARE,
+                "victim_items": ECLIPSE_VICTIM_ITEMS,
+                "closeness_bits": ECLIPSE_CLOSENESS_BITS,
+                "shadow_publish": "every duration/6",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="poisoned-routing-under-churn",
+            description=(
+                "Malicious DHT servers drop queries or answer with bogus "
+                "closer-peers while the crawler and a content workload run"
+            ),
+            builder=poisoned_routing_config,
+            tags=("adversary", "poison", "crawler"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "poison_share": POISON_SHARE,
+                "drop_share": POISON_DROP_SHARE,
+                "crawl_interval": "duration/3 (≥ 10 min)",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="spoofed-churn-classification",
+            description=(
+                "Aggressive PID rotation over short sessions floods the "
+                "Table IV classification with fake one-time/light peers"
+            ),
+            builder=spoofed_churn_config,
+            tags=("adversary", "spoof"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "spoof_share": SPOOF_SHARE,
+                "session": f"{SPOOF_SESSION_FRACTION:g} x duration",
+                "downtime": f"{SPOOF_DOWNTIME_FRACTION:g} x duration",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+
+
 def _register_stress_scenarios() -> None:
     register(
         ScenarioSpec(
@@ -535,3 +757,4 @@ def _register_stress_scenarios() -> None:
 _register_paper_periods()
 _register_stress_scenarios()
 _register_content_scenarios()
+_register_adversary_scenarios()

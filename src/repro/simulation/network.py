@@ -18,6 +18,11 @@ This module wires the synthetic population to the measurement identities
   protocols, addresses); meta-data behaviours push updates later.
 * **DHT queries** — online DHT-Servers answer FIND_NODE queries from their
   routing tables, which is what the active crawler baseline walks.
+* **malicious response paths** — a peer carrying an attacker behaviour
+  (:mod:`repro.adversary`) intercepts the three DHT RPCs before the honest
+  implementation runs: poisoned or dropped FIND_NODE / GET_PROVIDERS replies
+  and black-holed ADD_PROVIDER stores.  Without an adversary installed the
+  hooks are dormant ``None`` checks, so honest runs are byte-identical.
 """
 
 from __future__ import annotations
@@ -96,6 +101,7 @@ class SimPeer:
         "_dial_addr",
         "provider_store",
         "bitswap",
+        "attacker",
     )
 
     def __init__(self, profile: PeerProfile, rng: random.Random) -> None:
@@ -115,6 +121,8 @@ class SimPeer:
         #: peer (scenarios without content routing never allocate either)
         self.provider_store: Optional[ProviderStore] = None
         self.bitswap: Optional[BitswapEngine] = None
+        #: malicious response behaviour (repro.adversary), None for honest peers
+        self.attacker = None
         self.last_online_at = float("-inf")
         self.addrs: List[Multiaddr] = addresses_for_peer(
             profile.public_ip, rng, behind_nat=profile.behind_nat
@@ -222,6 +230,8 @@ class SimulatedNetwork:
         self.provider_peers: List[SimPeer] = []
         #: memoised bootstrap candidates (immutable profile predicate)
         self._stable_server_peers: Optional[List[SimPeer]] = None
+        #: set by AdversaryBehaviors.install(); observes honest record stores
+        self.adversary_monitor = None
         self._duration: Optional[float] = None
         self._tasks: List[PeriodicTask] = []
         self._started = False
@@ -528,10 +538,22 @@ class SimulatedNetwork:
     # ------------------------------------------------------------- DHT queries ----
 
     def dht_query(self, remote: PeerId, target: int, count: int) -> Optional[List[PeerId]]:
-        """FIND_NODE against a simulated peer (used by the crawler baseline)."""
+        """FIND_NODE against a simulated peer (used by the crawler baseline).
+
+        Peers carrying an attacker behaviour may poison, shadow, or drop the
+        reply; honest peers answer from their routing table.
+        """
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
+        if peer.attacker is not None:
+            return peer.attacker.on_find_node(self, peer, target, count)
+        return self.honest_find_node(peer, target, count)
+
+    def honest_find_node(
+        self, peer: SimPeer, target: int, count: int
+    ) -> Optional[List[PeerId]]:
+        """The honest FIND_NODE reply of an online DHT-Server."""
         if peer.routing_table is None:
             return []
         now = self.engine.now
@@ -560,11 +582,21 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
+        if peer.attacker is not None:
+            return peer.attacker.on_add_provider(self, peer, key, provider, ttl)
+        return self.honest_add_provider(peer, key, provider, ttl)
+
+    def honest_add_provider(
+        self, peer: SimPeer, key: int, provider: PeerId, ttl: float
+    ) -> Optional[bool]:
+        """Store a record on an online server (the honest ADD_PROVIDER path)."""
         store = peer.provider_store
         if store is None:
             store = peer.ensure_provider_store(ttl)
             self.provider_peers.append(peer)
         store.add(key, provider, self.engine.now, ttl=ttl)
+        if self.adversary_monitor is not None:
+            self.adversary_monitor.note_honest_store(key, provider)
         return True
 
     def get_providers(
@@ -574,11 +606,19 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
+        if peer.attacker is not None:
+            return peer.attacker.on_get_providers(self, peer, key, count)
+        return self.honest_get_providers(peer, key, count)
+
+    def honest_get_providers(
+        self, peer: SimPeer, key: int, count: int = 20
+    ) -> Optional[tuple]:
+        """The honest GET_PROVIDERS reply of an online DHT-Server."""
         if peer.provider_store is not None:
             providers = peer.provider_store.providers(key, self.engine.now, limit=count)
         else:
             providers = []
-        closer = self.dht_query(remote, key, count) or []
+        closer = self.honest_find_node(peer, key, count) or []
         return providers, closer
 
     def sweep_provider_stores(self, now: float) -> int:

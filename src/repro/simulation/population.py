@@ -24,9 +24,12 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.kademlia.dht import DHTMode
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (profiles are built lazily)
+    from repro.adversary.config import AdversaryConfig
 from repro.libp2p.multiaddr import random_public_ipv4
 from repro.libp2p.protocols import (
     crawler_protocols,
@@ -97,10 +100,18 @@ class PeerProfile:
     keep_probability: float = 0.15         # remote "values" a connection to us
     reconnect_mean: float = 20 * MINUTE    # delay before re-dialling after a close
     discovery_mean: float = 4 * HOUR       # time to discover a measurement identity
+    #: ground-truth attacker membership (one of repro.adversary.config's kind
+    #: labels); ``None`` marks an honest peer.  The measurement/analysis side
+    #: never reads this — only the attack report, which has ground truth.
+    adversary_kind: Optional[str] = None
 
     @property
     def is_dht_server(self) -> bool:
         return self.role is DHTMode.SERVER
+
+    @property
+    def is_adversary(self) -> bool:
+        return self.adversary_kind is not None
 
 
 @dataclass
@@ -179,6 +190,10 @@ class PopulationConfig:
     #: measurement identity (< 1: peers find the vantage point faster, the
     #: flash-crowd regime; > 1: a poorly connected vantage point)
     discovery_scale: float = 1.0
+    #: adversarial participants, added *on top of* the honest ``n_peers``
+    #: (``None``, the default, adds none and draws nothing from any RNG, so
+    #: every pre-existing fixed-seed golden stays byte-identical)
+    adversary: Optional["AdversaryConfig"] = None
 
     def __post_init__(self) -> None:
         if self.n_peers <= 0:
@@ -242,6 +257,12 @@ class Population:
 
     def hydra_heads(self) -> List[PeerProfile]:
         return [p for p in self.profiles if p.is_hydra_head]
+
+    def honest(self) -> List[PeerProfile]:
+        return [p for p in self.profiles if not p.is_adversary]
+
+    def adversaries(self) -> List[PeerProfile]:
+        return [p for p in self.profiles if p.is_adversary]
 
     def ip_groups(self) -> Dict[str, List[PeerProfile]]:
         groups: Dict[str, List[PeerProfile]] = {}
@@ -476,5 +497,15 @@ def generate_population(
             )
         )
         index += 1
+
+    # -- adversarial participants (on top of the honest population) ------------------
+    if config.adversary is not None:
+        # Imported lazily: the adversary package is only loaded when a
+        # scenario actually deploys attackers.
+        from repro.adversary.profiles import build_adversary_profiles
+
+        profiles.extend(
+            build_adversary_profiles(config.adversary, start_index=index, seed=config.seed)
+        )
 
     return Population(config=config, profiles=profiles)

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.adversary.behaviors import AdversaryBehaviors, AttackStats
 from repro.core.records import MeasurementDataset
 from repro.crawler.crawler import Crawler
 from repro.crawler.monitor import DEFAULT_CRAWL_INTERVAL, CrawlMonitor
@@ -95,6 +96,11 @@ class ScenarioResult:
     autonat_flips: int = 0
     #: content-routing workload outcome (None when the scenario ran none)
     content: Optional[ContentRoutingStats] = None
+    #: adversary ground truth (None when the scenario deployed no attackers)
+    adversary: Optional[AttackStats] = None
+    #: base58 PID per measurement identity label (analysis needs the vantage
+    #: point's keyspace position, e.g. for neighbourhood-density estimates)
+    identity_keys: Dict[str, str] = field(default_factory=dict)
 
     def dataset(self, label: str) -> MeasurementDataset:
         return self.datasets[label]
@@ -131,6 +137,15 @@ class Scenario:
         if config.content is not None:
             self.content = ContentBehaviors(
                 self.engine, self.network, random.Random(config.seed + 70), config.content
+            )
+        self.adversary: Optional[AdversaryBehaviors] = None
+        if config.population.adversary is not None:
+            self.adversary = AdversaryBehaviors(
+                self.engine,
+                self.network,
+                random.Random(config.seed + 80),
+                config.population.adversary,
+                content=config.content,
             )
         self.identities: List[MeasurementIdentity] = []
         self.go_ipfs_node: Optional[IpfsNode] = None
@@ -174,10 +189,16 @@ class Scenario:
 
     def run(self) -> ScenarioResult:
         config = self.config
+        # Attackers install before start(): routing tables and identity
+        # neighbourhoods must be built over the mined attacker IDs.
+        if self.adversary is not None:
+            self.adversary.install(config.duration)
         self.network.start(config.duration)
         self.behaviors.schedule_all(config.duration)
         if self.content is not None:
             self.content.schedule_all(config.duration)
+        if self.adversary is not None:
+            self.adversary.schedule_all(config.duration)
 
         if config.run_crawler:
             self.crawler = Crawler(
@@ -208,6 +229,9 @@ class Scenario:
         content_stats = None
         if self.content is not None:
             content_stats = self.content.finalize(config.duration)
+        attack_stats = None
+        if self.adversary is not None:
+            attack_stats = self.adversary.finalize(config.duration)
 
         return ScenarioResult(
             config=config,
@@ -219,6 +243,10 @@ class Scenario:
             role_flips=self.behaviors.role_flips_applied,
             autonat_flips=self.behaviors.autonat_flips_applied,
             content=content_stats,
+            adversary=attack_stats,
+            identity_keys={
+                identity.label: str(identity.peer_id) for identity in self.identities
+            },
         )
 
     def _run_crawl(self, now: float) -> None:

@@ -27,6 +27,7 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.attack_report import attack_metrics
 from repro.analysis.content_report import content_metrics
 from repro.analysis.sweep_report import (
     CELL_SCHEMA,
@@ -122,6 +123,7 @@ def summarize_result(name: str, n_peers: int, duration_days: float, seed: int, r
         "datasets": dataset_counts(result),
         "churn": churn,
         "content": content_metrics(result.content),
+        "adversary": attack_metrics(result),
     }
 
 
@@ -197,13 +199,15 @@ def run_sweep(
     return summaries, failures
 
 
-def catalog_table() -> TextTable:
-    """The ``--list`` output: every registered scenario and its knobs."""
+def catalog_table(tag: Optional[str] = None) -> TextTable:
+    """The ``--list`` output: registered scenarios (optionally one tag) and
+    their knobs."""
+    title = "Registered scenarios" if tag is None else f"Registered scenarios [{tag}]"
     table = TextTable(
         headers=["Name", "Tags", "Peers", "Days", "Description", "Knobs"],
-        title="Registered scenarios",
+        title=title,
     )
-    for spec in scenarios():
+    for spec in scenarios(tag):
         knobs = ", ".join(f"{k}={v}" for k, v in spec.knobs.items())
         table.add_row(
             spec.name,
@@ -252,6 +256,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list the registered scenarios and exit",
     )
+    parser.add_argument(
+        "--tag", default=None,
+        help="with --list: only scenarios carrying this tag (paper, stress, "
+             "content, adversary, ...)",
+    )
     return parser
 
 
@@ -260,8 +269,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        print(catalog_table().render())
+        if args.tag is not None and not scenarios(args.tag):
+            known = sorted({tag for spec in scenarios() for tag in spec.tags})
+            print(
+                f"no scenarios tagged {args.tag!r}; known tags: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return 1
+        print(catalog_table(args.tag).render())
         return 0
+    if args.tag is not None:
+        parser.error("--tag only filters --list; pass --scenarios by name to run")
     if not args.scenarios:
         parser.error("--scenarios is required (or use --list)")
 

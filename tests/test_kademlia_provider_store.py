@@ -163,3 +163,87 @@ class TestExpiryRepublishProperties:
             return dropped, state, len(store)
 
         assert build() == build()
+
+
+class TestIncrementalExpiryEquivalence:
+    """Satellite: the min-heap sweep must match the old full-scan semantics.
+
+    The reference below is the pre-heap implementation — walk every record,
+    drop the ones with ``now >= expires_at`` — run against a mirror of the
+    store's state.  Randomised add/remove/expire sequences must agree on both
+    the dropped counts and the surviving records.
+    """
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["add", "add-short", "remove", "expire"]),
+                st.integers(0, 4),           # key
+                st.integers(0, 7),           # provider
+                st.floats(0.0, 60.0),        # time advance before the op
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_heap_sweep_matches_full_scan(self, ops):
+        store = ProviderStore(ttl=100.0)
+        mirror = {}  # key -> {provider: expires_at}
+        clock = 0.0
+        for op, key, provider, advance in ops:
+            clock += advance
+            if op == "add" or op == "add-short":
+                ttl = 25.0 if op == "add-short" else None
+                store.add(key, pid(provider), now=clock, ttl=ttl)
+                mirror.setdefault(key, {})[provider] = clock + (ttl or store.ttl)
+            elif op == "remove":
+                removed = store.remove(key, pid(provider))
+                assert removed == (provider in mirror.get(key, {}))
+                mirror.get(key, {}).pop(provider, None)
+            else:
+                expected = sum(
+                    1
+                    for per_key in mirror.values()
+                    for expires_at in per_key.values()
+                    if clock >= expires_at
+                )
+                for k in list(mirror):
+                    mirror[k] = {
+                        p: e for p, e in mirror[k].items() if clock < e
+                    }
+                    if not mirror[k]:
+                        del mirror[k]
+                assert store.expire(now=clock) == expected
+        # final state agrees record for record
+        for key in set(store.keys()) | set(mirror):
+            live = {str(p) for p in store.providers(key, now=clock)}
+            expected = {
+                str(pid(p)) for p, e in mirror.get(key, {}).items() if clock < e
+            }
+            assert live == expected
+
+    def test_refresh_is_not_double_dropped(self):
+        store = ProviderStore(ttl=100.0)
+        store.add(KEY, pid(1), now=0.0)
+        store.add(KEY, pid(1), now=50.0)   # refresh: stale heap entry at 100
+        assert store.expire(now=100.0) == 0
+        assert store.providers(KEY, now=100.0) == [pid(1)]
+        assert store.expire(now=150.0) == 1
+        assert store.providers(KEY, now=150.0) == []
+        assert store.expire(now=200.0) == 0
+
+    def test_removed_record_leaves_only_a_stale_heap_entry(self):
+        store = ProviderStore(ttl=100.0)
+        store.add(KEY, pid(1), now=0.0)
+        assert store.remove(KEY, pid(1))
+        assert store.expire(now=500.0) == 0
+        assert len(store) == 0
+
+    def test_shortened_refresh_expires_at_the_new_time(self):
+        store = ProviderStore(ttl=100.0)
+        store.add(KEY, pid(1), now=0.0)            # expires at 100
+        store.add(KEY, pid(1), now=10.0, ttl=20.0)  # refreshed down: expires at 30
+        assert store.expire(now=30.0) == 1
+        assert store.providers(KEY, now=30.0) == []
+        # the stale original entry at 100 must not count as a second drop
+        assert store.expire(now=100.0) == 0

@@ -45,6 +45,13 @@ CONTENT_NAMES = [
     "provider-record-expiry",
 ]
 
+ADVERSARY_NAMES = [
+    "sybil-netsize-inflation",
+    "eclipse-provider",
+    "poisoned-routing-under-churn",
+    "spoofed-churn-classification",
+]
+
 
 class TestRegistry:
     def test_all_paper_periods_registered(self):
@@ -56,6 +63,9 @@ class TestRegistry:
 
     def test_all_content_scenarios_registered(self):
         assert scenario_names("content") == CONTENT_NAMES
+
+    def test_all_adversary_scenarios_registered(self):
+        assert scenario_names("adversary") == ADVERSARY_NAMES
 
     def test_lookup_is_case_insensitive(self):
         assert scenario("P1") is scenario("p1")
@@ -167,6 +177,10 @@ class TestGoldenEventCounts:
         "provide-churn": {"events": 527, "connections": 36},
         "retrieval-flash-crowd": {"events": 1244, "connections": 46},
         "provider-record-expiry": {"events": 514, "connections": 36},
+        "sybil-netsize-inflation": {"events": 312, "connections": 70},
+        "eclipse-provider": {"events": 665, "connections": 41},
+        "poisoned-routing-under-churn": {"events": 647, "connections": 58},
+        "spoofed-churn-classification": {"events": 1235, "connections": 128},
     }
 
     def test_golden_covers_the_whole_catalog(self):
@@ -232,6 +246,61 @@ class TestContentScenarioConfigs:
         assert long.content.provider_ttl == pytest.approx(
             10 * short.content.provider_ttl
         )
+
+
+class TestAdversaryScenarioConfigs:
+    def test_sybil_scenario_scales_the_flood_with_the_population(self):
+        small = build_scenario_config("sybil-netsize-inflation", n_peers=100, duration_days=0.1)
+        large = build_scenario_config("sybil-netsize-inflation", n_peers=1000, duration_days=0.1)
+        assert small.population.adversary.sybil.count < large.population.adversary.sybil.count
+        low, high = small.population.adversary.sybil.arrival_window
+        assert 0 <= low < high <= small.duration
+
+    def test_eclipse_scenario_pairs_a_content_workload_with_the_ring(self):
+        config = build_scenario_config("eclipse-provider", n_peers=200, duration_days=0.1)
+        eclipse = config.population.adversary.eclipse
+        assert config.content is not None
+        assert eclipse.count >= 16
+        assert eclipse.victim_items >= 1
+        # the ring must out-crowd the record replication factor to fully capture
+        assert eclipse.count / eclipse.victim_items >= config.content.replication * 0.8
+        assert eclipse.shadow_publish_interval < config.duration
+
+    def test_poisoned_routing_runs_crawler_and_content(self):
+        config = build_scenario_config(
+            "poisoned-routing-under-churn", n_peers=200, duration_days=0.1
+        )
+        poison = config.population.adversary.poison
+        assert config.run_crawler and config.content is not None
+        assert 0.0 < poison.drop_share < 1.0
+        assert poison.bogus_peers_per_reply > 0
+
+    def test_spoofed_churn_rotates_many_short_sessions(self):
+        config = build_scenario_config(
+            "spoofed-churn-classification", n_peers=200, duration_days=0.1
+        )
+        spoof = config.population.adversary.churn_spoof
+        # many sessions fit into the window, each burning a fresh PID
+        assert spoof.session_mean + spoof.downtime_mean < config.duration / 10
+        population = generate_population(config.population, random.Random(1))
+        spoofers = [p for p in population if p.adversary_kind == "churn-spoofer"]
+        assert len(spoofers) == spoof.count
+        assert all(p.rotates_pid for p in spoofers)
+
+    def test_adversary_rides_on_top_of_the_honest_population(self):
+        config = build_scenario_config("sybil-netsize-inflation", n_peers=150, duration_days=0.1)
+        population = generate_population(config.population, random.Random(1))
+        honest = population.honest()
+        assert len(honest) == 150
+        assert len(population.adversaries()) == config.population.adversary.sybil.count
+        assert len(population) == 150 + config.population.adversary.sybil.count
+        # honest profiles are byte-identical to the adversary-free twin
+        from dataclasses import replace as dc_replace
+
+        twin_config = dc_replace(config.population, adversary=None)
+        twin = generate_population(twin_config, random.Random(1))
+        assert [p.public_ip for p in twin] == [p.public_ip for p in honest]
+        assert [p.peer_class for p in twin] == [p.peer_class for p in honest]
 
 
 class TestScenarioConfigValidation:

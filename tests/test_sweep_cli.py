@@ -153,6 +153,33 @@ class TestContentCells:
         assert summary["content"] is None
 
 
+class TestAdversaryCells:
+    def test_adversarial_scenario_reports_distortion(self, tmp_path):
+        out = tmp_path / "adv"
+        assert main([
+            "--scenarios", "sybil-netsize-inflation",
+            "--seeds", "11",
+            "--peers", "60",
+            "--duration", "0.02d",
+            "--out", str(out),
+        ]) == 0
+        with open(out / "sybil-netsize-inflation__n60__s11.json") as handle:
+            summary = json.load(handle)
+        adversary = summary["adversary"]
+        assert adversary["attackers"] > 0
+        assert adversary["netsize"]["density_inflation"] > 1.0
+        assert 0.0 <= adversary["churn"]["misclassification_rate"] <= 1.0
+        # round-trips through JSON without loss
+        assert json.loads(json.dumps(summary)) == summary
+        table = (out / "sweep_table.txt").read_text()
+        assert "Atk" in table and "net x" in table
+
+    def test_non_adversarial_cells_carry_null(self, micro_sweep):
+        with open(micro_sweep / "p1__n50__s7.json") as handle:
+            summary = json.load(handle)
+        assert summary["adversary"] is None
+
+
 class TestFailingCells:
     """Satellite: a failing cell must not sink the sweep, but must exit nonzero."""
 
@@ -237,6 +264,18 @@ class TestCliParsing:
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "flash-crowd" in out and "p14" in out
+        assert "sybil-netsize-inflation" in out
+
+    def test_list_flag_filters_by_tag(self, capsys):
+        assert main(["--list", "--tag", "adversary"]) == 0
+        out = capsys.readouterr().out
+        assert "sybil-netsize-inflation" in out and "eclipse-provider" in out
+        assert "p14" not in out and "flash-crowd" not in out
+
+    def test_list_flag_rejects_unknown_tag(self, capsys):
+        assert main(["--list", "--tag", "no-such-tag"]) == 1
+        err = capsys.readouterr().err
+        assert "no scenarios tagged" in err and "adversary" in err
 
     def test_summarize_cell_uses_spec_defaults_for_peers(self):
         summary = summarize_cell("p1", None, 0.01, 3)
