@@ -20,11 +20,18 @@ from repro.analysis.plots import ascii_bar_chart
 from repro.core.metadata import analyze_metadata
 from repro.experiments.runner import run_period_cached
 
+import os
+
+#: fast-mode knobs: CI's examples-smoke job shrinks every example through
+#: these without touching the documented default scale
+N_PEERS = int(os.environ.get("REPRO_EXAMPLE_PEERS", "800"))
+DURATION_DAYS = float(os.environ.get("REPRO_EXAMPLE_DAYS", "1.0"))
+
 
 def main() -> None:
     print("Simulating a P4-style measurement for the meta-data analysis…")
     result = run_period_cached(
-        "P4", n_peers=800, duration_days=1.0, seed=5, run_crawler=False
+        "P4", n_peers=N_PEERS, duration_days=DURATION_DAYS, seed=5, run_crawler=False
     )
     dataset = result.dataset("go-ipfs")
     report = analyze_metadata(dataset, group_threshold=2)

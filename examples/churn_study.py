@@ -20,8 +20,12 @@ from repro.core.churn import connection_statistics, trim_share
 from repro.experiments.periods import PERIODS
 from repro.experiments.runner import run_period_cached
 
-N_PEERS = 500
-DURATION_DAYS = 0.5
+import os
+
+#: fast-mode knobs: CI's examples-smoke job shrinks every example through
+#: these without touching the documented default scale
+N_PEERS = int(os.environ.get("REPRO_EXAMPLE_PEERS", "500"))
+DURATION_DAYS = float(os.environ.get("REPRO_EXAMPLE_DAYS", "0.5"))
 
 
 def main() -> None:

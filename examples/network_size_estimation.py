@@ -21,14 +21,24 @@ from repro.analysis.tables import TextTable
 from repro.core.netsize import connection_cdfs, estimate_network_size
 from repro.experiments.runner import run_period_cached
 
+import os
+
+#: fast-mode knobs: CI's examples-smoke job shrinks every example through
+#: these without touching the documented default scale
+N_PEERS = int(os.environ.get("REPRO_EXAMPLE_PEERS", "700"))
+DURATION_DAYS = float(os.environ.get("REPRO_EXAMPLE_DAYS", "1.5"))
+
 HOUR = 3_600.0
 DAY = 86_400.0
 
 
 def main() -> None:
-    print("Simulating a P4-style measurement (DHT-Server vantage point, 1.5 days)…")
+    print(
+        f"Simulating a P4-style measurement (DHT-Server vantage point, "
+        f"{N_PEERS} peers, {DURATION_DAYS:g} days)…"
+    )
     result = run_period_cached(
-        "P4", n_peers=700, duration_days=1.5, seed=11, run_crawler=False
+        "P4", n_peers=N_PEERS, duration_days=DURATION_DAYS, seed=11, run_crawler=False
     )
     dataset = result.dataset("go-ipfs")
     report = estimate_network_size(dataset)

@@ -18,10 +18,17 @@ from repro.core.horizon import compare_horizons
 from repro.core.netsize import estimate_network_size
 from repro.experiments.runner import run_period_cached
 
+import os
+
+#: fast-mode knobs: CI's examples-smoke job shrinks every example through
+#: these without touching the documented default scale
+N_PEERS = int(os.environ.get("REPRO_EXAMPLE_PEERS", "600"))
+DURATION_DAYS = float(os.environ.get("REPRO_EXAMPLE_DAYS", "0.5"))
+
 
 def main() -> None:
     print("Simulating measurement period P2 (go-ipfs server + 2 hydra heads + crawler)…")
-    result = run_period_cached("P2", n_peers=600, duration_days=0.5, seed=42)
+    result = run_period_cached("P2", n_peers=N_PEERS, duration_days=DURATION_DAYS, seed=42)
 
     # -- connection churn (Table II style) ---------------------------------------
     table = TextTable(

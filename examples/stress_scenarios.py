@@ -16,8 +16,12 @@ from repro.analysis.sweep_report import primary_dataset_label, render_aggregate
 from repro.scenarios import scenario, scenario_names
 from repro.sweep import summarize_cell
 
-N_PEERS = 300
-DURATION_DAYS = 0.25
+import os
+
+#: fast-mode knobs: CI's examples-smoke job shrinks every example through
+#: these without touching the documented default scale
+N_PEERS = int(os.environ.get("REPRO_EXAMPLE_PEERS", "300"))
+DURATION_DAYS = float(os.environ.get("REPRO_EXAMPLE_DAYS", "0.25"))
 SEED = 7
 
 

@@ -20,7 +20,7 @@ from repro.analysis.cdf import EmpiricalCDF
 QUANTILES = (0.5, 0.9, 0.99)
 
 
-def _quantile_block(values: Sequence[float], precision: int) -> Dict[str, float]:
+def quantile_block(values: Sequence[float], precision: int) -> Dict[str, float]:
     """``{"p50": ..., "p90": ..., "p99": ...}`` (zeros for empty series)."""
     if not values:
         return {f"p{int(q * 100)}": 0.0 for q in QUANTILES}
@@ -65,8 +65,8 @@ def content_metrics(stats) -> Optional[Dict]:
         "retrieval_success_rate": round(stats.retrieval_success_rate, 6),
         "first_half_success_rate": round(stats.first_half_success_rate, 6),
         "second_half_success_rate": round(stats.second_half_success_rate, 6),
-        "provide_hops": _quantile_block(stats.provide_hops, 1),
-        "retrieve_hops": _quantile_block(stats.retrieve_hops, 1),
-        "provide_latency": _quantile_block(stats.provide_latencies, 4),
-        "retrieve_latency": _quantile_block(stats.retrieve_latencies, 4),
+        "provide_hops": quantile_block(stats.provide_hops, 1),
+        "retrieve_hops": quantile_block(stats.retrieve_hops, 1),
+        "provide_latency": quantile_block(stats.provide_latencies, 4),
+        "retrieve_latency": quantile_block(stats.retrieve_latencies, 4),
     }

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.attack_report import attack_headline
+from repro.analysis.reachability_report import reachability_headline
 from repro.analysis.tables import TextTable, format_count
 
 #: schema tags of the sweep artifacts
@@ -52,6 +53,12 @@ def aggregate_payload(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) 
         "attackers": sum(
             s["adversary"]["attackers"] for s in summaries if s.get("adversary")
         ),
+        "dial_failures": sum(
+            s["netmodel"]["dial_failures"] for s in summaries if s.get("netmodel")
+        ),
+        "lookup_timeouts": sum(
+            s["netmodel"]["lookup_timeouts"] for s in summaries if s.get("netmodel")
+        ),
     }
     return {
         "schema": SWEEP_SCHEMA,
@@ -67,7 +74,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
         headers=[
             "Scenario", "Peers", "Seed", "Events", "Dataset",
             "PIDs", "Conns", "Avg dur (s)", "Trim share", "Queries",
-            "Retr", "Retr OK", "Atk", "Attack",
+            "Retr", "Retr OK", "Atk", "Attack", "Unreach", "Net",
         ],
         title="Scenario sweep",
     )
@@ -77,6 +84,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
         churn = summary.get("churn", {}).get(label, {}) if label else {}
         content = summary.get("content")
         adversary = summary.get("adversary")
+        netmodel = summary.get("netmodel")
         table.add_row(
             summary["scenario"],
             summary["n_peers"],
@@ -92,6 +100,8 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
             f"{content['retrieval_success_rate']:.2f}" if content else "-",
             format_count(adversary["attackers"]) if adversary else "-",
             attack_headline(adversary),
+            f"{netmodel['unreachable_share']:.2f}" if netmodel else "-",
+            reachability_headline(netmodel),
         )
     return table
 
@@ -114,6 +124,10 @@ def render_aggregate(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) -
         )
     if totals["attackers"]:
         totals_line += f", {format_count(totals['attackers'])} attackers"
+    if totals["dial_failures"]:
+        totals_line += f", {format_count(totals['dial_failures'])} failed dials"
+    if totals["lookup_timeouts"]:
+        totals_line += f", {format_count(totals['lookup_timeouts'])} lookup timeouts"
     lines.append(totals_line)
     for failure in failures:
         lines.append(

@@ -24,6 +24,10 @@ class CrawlSnapshot:
     discovered: Set[PeerId] = field(default_factory=set)
     #: the subset of discovered peers that answered our queries (online servers)
     reachable: Set[PeerId] = field(default_factory=set)
+    #: the subset we queried but that never answered (offline, DHT-Client, or
+    #: undialable behind a NAT — the crawler cannot tell these apart, which is
+    #: exactly the paper's crawler-undercount blind spot)
+    unreachable: Set[PeerId] = field(default_factory=set)
     queries_sent: int = 0
 
     @property
@@ -33,6 +37,10 @@ class CrawlSnapshot:
     @property
     def reachable_count(self) -> int:
         return len(self.reachable)
+
+    @property
+    def unreachable_count(self) -> int:
+        return len(self.unreachable)
 
     def duration(self) -> float:
         return self.finished_at - self.started_at
@@ -102,4 +110,6 @@ class Crawler:
                         to_visit.append(found)
             if answered:
                 snapshot.reachable.add(peer)
+            else:
+                snapshot.unreachable.add(peer)
         return snapshot

@@ -109,6 +109,7 @@ def iterative_lookup(
     max_queries: int = 64,
     on_found: Optional[Callable[[PeerId], None]] = None,
     stop: Optional[Callable[[], bool]] = None,
+    give_up: Optional[Callable[[], bool]] = None,
 ) -> LookupResult:
     """Iteratively converge on the ``count`` peers closest to ``target``.
 
@@ -118,7 +119,11 @@ def iterative_lookup(
     invoked for every peer a reply carries (nodes use it to refresh their
     routing tables; table-less callers pass nothing).  ``stop`` is re-checked
     after every reply; content-routing walks use it to end the walk early the
-    moment their side-goal (enough provider records) is met.
+    moment their side-goal (enough provider records) is met.  ``give_up`` is
+    the failure-side twin: re-checked after every query, it abandons the walk
+    when its budget (e.g. a netmodel's simulated-time lookup timeout) is
+    exhausted — the result keeps whatever was found, but does not count as a
+    satisfied early stop.
     """
     candidates: Set[PeerId] = set(seeds)
     if self_id is not None:
@@ -127,11 +132,14 @@ def iterative_lookup(
     discovered: Set[PeerId] = set(candidates)
     hops = 0
     stopped = False
+    expired = False
 
     def dist(peer: PeerId) -> int:
         return xor_distance(key_for_peer(peer), target)
 
-    while len(queried) < max_queries and not stopped:
+    while len(queried) < max_queries and not stopped and not expired:
+        if give_up is not None and give_up():
+            break
         remaining = sorted(candidates - queried, key=dist)
         if not remaining:
             break
@@ -143,7 +151,11 @@ def iterative_lookup(
         for peer in batch:
             queried.add(peer)
             reply = query(peer, target, count)
+            if give_up is not None and give_up():
+                expired = True
             if reply is None:
+                if expired:
+                    break
                 continue
             for found in reply:
                 if found == self_id:
@@ -156,8 +168,9 @@ def iterative_lookup(
                     on_found(found)
             if stop is not None and stop():
                 stopped = True
+            if stopped or expired:
                 break
-        if stopped:
+        if stopped or expired:
             break
         new_best = sorted(candidates, key=dist)[:count]
         if not progressed and new_best == best_known:
@@ -183,9 +196,11 @@ def iterative_provide(
     alpha: int = DEFAULT_ALPHA,
     max_queries: int = 64,
     on_found: Optional[Callable[[PeerId], None]] = None,
+    give_up: Optional[Callable[[], bool]] = None,
 ) -> ProvideResult:
     """Publish a provider record: converge on ``key`` and store the record on
-    the ``replication`` closest servers that accept it."""
+    the ``replication`` closest servers that accept it.  A walk abandoned by
+    ``give_up`` still stores on the closest servers found so far."""
     lookup = iterative_lookup(
         key,
         query,
@@ -195,6 +210,7 @@ def iterative_provide(
         count=max(replication, DEFAULT_CLOSER_PEERS),
         max_queries=max_queries,
         on_found=on_found,
+        give_up=give_up,
     )
     stored_on: List[PeerId] = []
     for peer in lookup.closest:
@@ -215,6 +231,7 @@ def iterative_find_providers(
     max_queries: int = 64,
     max_providers: int = DEFAULT_CLOSER_PEERS,
     on_found: Optional[Callable[[PeerId], None]] = None,
+    give_up: Optional[Callable[[], bool]] = None,
 ) -> FindProvidersResult:
     """Resolve the providers of ``key``.
 
@@ -247,6 +264,7 @@ def iterative_find_providers(
         max_queries=max_queries,
         on_found=on_found,
         stop=lambda: len(providers) >= max_providers,
+        give_up=give_up,
     )
     return FindProvidersResult(
         key=key,

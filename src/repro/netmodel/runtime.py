@@ -1,0 +1,225 @@
+"""Runtime side of the network-realism subsystem.
+
+:class:`NetModelRuntime` is built by the network fabric when a
+:class:`~repro.netmodel.config.NetModelConfig` is attached to the population.
+It draws each peer's network conditions (region, reachability class, jitter)
+from its own RNG stream, answers the fabric's dial/RTT questions, and keeps
+the :class:`NetModelStats` a scenario reports.
+
+Delays ride the **existing** event heap: the fabric adds the computed RTT to
+the delays of events it already schedules (identify delivery etc.), and
+iterative walks accrue latency on a :class:`WalkClock` instead of spinning a
+second queue — so the ``netmodel=None`` hot path stays a single ``is None``
+check and the perf gate holds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.netmodel.config import NAT, PUBLIC, RELAYED, NetModelConfig
+
+
+class PeerNet:
+    """The drawn network conditions of one peer (or measurement identity)."""
+
+    __slots__ = ("region", "reachability", "jitter")
+
+    def __init__(self, region: int, reachability: str, jitter: float) -> None:
+        self.region = region
+        self.reachability = reachability
+        self.jitter = jitter
+
+    @property
+    def dialable(self) -> bool:
+        return self.reachability is not NAT
+
+
+@dataclass
+class NetModelStats:
+    """What a scenario reports about its network conditions.
+
+    Compact and picklable: the process-parallel sweep runner ships these back
+    from worker processes instead of whole scenario results.
+    """
+
+    peers: int = 0
+    #: ground-truth reachability class and region composition
+    class_counts: Dict[str, int] = field(default_factory=dict)
+    region_counts: Dict[str, int] = field(default_factory=dict)
+    #: dial/RPC attempts against simulated peers (a failed one hit a NAT)
+    dial_attempts: int = 0
+    dial_failures: int = 0
+    relay_dials: int = 0
+    #: RPC round trips that accrued latency, and their total simulated time
+    rpc_messages: int = 0
+    rpc_latency_total: float = 0.0
+    #: iterative walks run under a clock, and how many hit the time budget
+    lookups_timed: int = 0
+    lookup_timeouts: int = 0
+    #: per-message RTT samples for the percentile report (first N kept)
+    rtt_samples: List[float] = field(default_factory=list)
+    rtt_samples_dropped: int = 0
+    max_rtt_samples: int = 10_000
+
+    @property
+    def unreachable_share(self) -> float:
+        return self.class_counts.get(NAT, 0) / self.peers if self.peers else 0.0
+
+    @property
+    def dial_failure_rate(self) -> float:
+        return self.dial_failures / self.dial_attempts if self.dial_attempts else 0.0
+
+    @property
+    def lookup_timeout_rate(self) -> float:
+        return self.lookup_timeouts / self.lookups_timed if self.lookups_timed else 0.0
+
+    @property
+    def mean_rtt(self) -> float:
+        return self.rpc_latency_total / self.rpc_messages if self.rpc_messages else 0.0
+
+
+class WalkClock:
+    """Accrues the simulated time one iterative walk spends on the wire.
+
+    The content behaviours create one per PROVIDE / FIND_PROVIDERS operation:
+    every RPC charges a round trip, every dial to a NATed peer burns the dial
+    timeout, and the walk's ``give_up`` hook reads :meth:`expired` so lookups
+    are bounded in simulated time, not only in query count.
+    """
+
+    __slots__ = ("runtime", "source", "elapsed")
+
+    def __init__(self, runtime: "NetModelRuntime", source: PeerNet) -> None:
+        self.runtime = runtime
+        self.source = source
+        self.elapsed = 0.0
+
+    def dial(self, target: PeerNet) -> bool:
+        """Attempt a dial; a NATed target burns the timeout and fails."""
+        if self.runtime.dial(target):
+            return True
+        self.elapsed += self.runtime.config.reachability.dial_timeout
+        return False
+
+    def charge(self, target: PeerNet) -> float:
+        """Charge one RPC round trip against the clock."""
+        rtt = self.runtime.rtt(self.source, target)
+        self.elapsed += rtt
+        self.runtime.record_rtt(rtt)
+        return rtt
+
+    def expired(self) -> bool:
+        timeout = self.runtime.config.lookup_timeout
+        return timeout is not None and self.elapsed >= timeout
+
+    def finish(self) -> float:
+        """Close the walk's books; returns the accrued simulated latency."""
+        stats = self.runtime.stats
+        stats.lookups_timed += 1
+        if self.expired():
+            stats.lookup_timeouts += 1
+        return self.elapsed
+
+
+class NetModelRuntime:
+    """Per-run state: peer assignments, RTT arithmetic, and stats."""
+
+    def __init__(self, config: NetModelConfig, seed: int) -> None:
+        self.config = config
+        self.rng = random.Random(seed + config.seed_salt)
+        self.stats = NetModelStats()
+        self.stats.class_counts = {label: 0 for label in (PUBLIC, NAT, RELAYED)}
+        self.stats.region_counts = {name: 0 for name in config.regions.names}
+        #: measurement identities' conditions, keyed by dataset label
+        self.identity_net: Dict[str, PeerNet] = {}
+        regions = config.regions
+        self._cum_weights: List[float] = []
+        total = 0.0
+        for weight in regions.weights:
+            total += weight
+            self._cum_weights.append(total)
+        #: rtt_matrix rows pre-scaled so rtt() is two lookups and a multiply
+        self._scaled_matrix = [
+            [value * regions.scale for value in row] for row in regions.rtt_matrix
+        ]
+
+    # -- assignment (construction time, deterministic in peer order) ---------------
+
+    def _draw_region(self) -> int:
+        roll = self.rng.random()
+        for index, cumulative in enumerate(self._cum_weights):
+            if roll <= cumulative:
+                return index
+        return len(self._cum_weights) - 1
+
+    def assign_peer(self, behind_nat: bool = False, force_public: bool = False) -> PeerNet:
+        """Draw one peer's conditions (always three draws, so the stream is a
+        pure function of the assignment order)."""
+        regions = self.config.regions
+        reach = self.config.reachability
+        region = self._draw_region()
+        roll = self.rng.random()
+        jitter = self.rng.uniform(1.0 - regions.jitter, 1.0 + regions.jitter)
+        if force_public:
+            reachability = PUBLIC
+        elif behind_nat or roll < reach.nat_share:
+            reachability = NAT
+        elif roll < reach.nat_share + reach.relay_share:
+            reachability = RELAYED
+        else:
+            reachability = PUBLIC
+        net = PeerNet(region, reachability, jitter)
+        stats = self.stats
+        stats.peers += 1
+        stats.class_counts[reachability] += 1
+        stats.region_counts[regions.names[region]] += 1
+        return net
+
+    def assign_identity(self, label: str) -> PeerNet:
+        """Assign a measurement identity (always public; it runs the study)."""
+        region = self._draw_region()
+        jitter = self.rng.uniform(
+            1.0 - self.config.regions.jitter, 1.0 + self.config.regions.jitter
+        )
+        net = PeerNet(region, PUBLIC, jitter)
+        self.identity_net[label] = net
+        return net
+
+    # -- dial / latency arithmetic ---------------------------------------------------
+
+    def dial(self, target: PeerNet) -> bool:
+        """Attempt to dial ``target``; counts the attempt in the stats."""
+        stats = self.stats
+        stats.dial_attempts += 1
+        if target.reachability is NAT:
+            stats.dial_failures += 1
+            return False
+        if target.reachability is RELAYED:
+            stats.relay_dials += 1
+        return True
+
+    def rtt(self, a: PeerNet, b: PeerNet) -> float:
+        """One round trip between two endpoints (jitter and relay included)."""
+        base = self._scaled_matrix[a.region][b.region] * 0.5 * (a.jitter + b.jitter)
+        if a.reachability is RELAYED or b.reachability is RELAYED:
+            base *= self.config.reachability.relay_penalty
+        return base
+
+    def identity_rtt(self, label: str, peer: PeerNet) -> float:
+        """RTT between a measurement identity and a simulated peer."""
+        return self.rtt(self.identity_net[label], peer)
+
+    def record_rtt(self, value: float) -> None:
+        stats = self.stats
+        stats.rpc_messages += 1
+        stats.rpc_latency_total += value
+        if len(stats.rtt_samples) < stats.max_rtt_samples:
+            stats.rtt_samples.append(value)
+        else:
+            stats.rtt_samples_dropped += 1
+
+    def clock(self, source: PeerNet) -> WalkClock:
+        return WalkClock(self, source)

@@ -1,6 +1,6 @@
 """The built-in scenario catalog.
 
-Four families are registered at import time:
+Five families are registered at import time:
 
 * the six paper measurement periods (``p0`` … ``p4``, ``p14``), thin wrappers
   around :mod:`repro.experiments.periods` so the sweep CLI can run Table I
@@ -18,7 +18,11 @@ Four families are registered at import time:
   measurements themselves: a Sybil flood inflating density-based network-size
   estimates, an eclipse ring capturing provider records, routing
   poisoners/droppers degrading lookups and the crawler, and churn spoofers
-  polluting the Table IV classification.
+  polluting the Table IV classification, and
+* four network-realism scenarios (:mod:`repro.netmodel`) that drop the
+  idealised zero-latency, fully-dialable fabric: a NAT-heavy population the
+  crawler undercounts, a high-RTT regime stretching retrieval latencies, a
+  relay-assisted content workload, and time-bounded lookups that give up.
 
 Every stress scenario derives its connection-manager watermarks through the
 same :func:`repro.experiments.periods.scale_watermarks` helper the paper
@@ -46,6 +50,11 @@ from repro.adversary.config import (
 from repro.experiments.periods import PERIODS, scale_watermarks
 from repro.ipfs.config import IpfsConfig
 from repro.kademlia.dht import DHTMode
+from repro.netmodel.config import (
+    NetModelConfig,
+    ReachabilityConfig,
+    RegionModelConfig,
+)
 from repro.simulation.churn_models import (
     DAY,
     HOUR,
@@ -431,6 +440,197 @@ def _register_content_scenarios() -> None:
     )
 
 
+# -- network-realism scenarios ------------------------------------------------------
+
+#: nat-heavy-crawl: an unreachable majority the crawler cannot dial
+NAT_HEAVY_NAT_SHARE = 0.55
+NAT_HEAVY_RELAY_SHARE = 0.10
+#: high-latency-retrieval: every RTT multiplied, walks bounded in time
+HIGH_LATENCY_SCALE = 4.0
+HIGH_LATENCY_NAT_SHARE = 0.15
+HIGH_LATENCY_LOOKUP_TIMEOUT = 18.0
+#: relay-assisted-content: a relayed plurality serving blocks at a penalty
+RELAY_ASSISTED_RELAY_SHARE = 0.35
+RELAY_ASSISTED_NAT_SHARE = 0.20
+RELAY_PENALTY = 2.2
+#: timeout-bound-lookups: a tight walk budget against a NATed population
+TIMEOUT_BOUND_LOOKUP_BUDGET = 8.0
+TIMEOUT_BOUND_NAT_SHARE = 0.45
+TIMEOUT_BOUND_RTT_SCALE = 2.0
+
+
+def nat_heavy_crawl_config(
+    n_peers: int, duration_days: float, seed: int, nat_share: Optional[float] = None
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    share = NAT_HEAVY_NAT_SHARE if nat_share is None else nat_share
+    netmodel = NetModelConfig(
+        reachability=ReachabilityConfig(
+            nat_share=share, relay_share=NAT_HEAVY_RELAY_SHARE
+        ),
+    )
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed), netmodel=netmodel
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        run_crawler=True,
+        crawl_interval=max(duration / 3.0, 600.0),
+        seed=seed,
+    )
+
+
+def high_latency_retrieval_config(
+    n_peers: int, duration_days: float, seed: int, rtt_scale: Optional[float] = None
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    scale = HIGH_LATENCY_SCALE if rtt_scale is None else rtt_scale
+    netmodel = NetModelConfig(
+        regions=replace(RegionModelConfig(), scale=scale),
+        reachability=ReachabilityConfig(
+            nat_share=HIGH_LATENCY_NAT_SHARE, relay_share=0.10
+        ),
+        lookup_timeout=HIGH_LATENCY_LOOKUP_TIMEOUT,
+    )
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed), netmodel=netmodel
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        seed=seed,
+    )
+
+
+def relay_assisted_content_config(
+    n_peers: int, duration_days: float, seed: int, relay_share: Optional[float] = None
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    share = RELAY_ASSISTED_RELAY_SHARE if relay_share is None else relay_share
+    netmodel = NetModelConfig(
+        reachability=ReachabilityConfig(
+            nat_share=RELAY_ASSISTED_NAT_SHARE,
+            relay_share=share,
+            relay_penalty=RELAY_PENALTY,
+        ),
+    )
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed), netmodel=netmodel
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        seed=seed,
+    )
+
+
+def timeout_bound_lookups_config(
+    n_peers: int, duration_days: float, seed: int, lookup_timeout: Optional[float] = None
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    budget = TIMEOUT_BOUND_LOOKUP_BUDGET if lookup_timeout is None else lookup_timeout
+    netmodel = NetModelConfig(
+        regions=replace(RegionModelConfig(), scale=TIMEOUT_BOUND_RTT_SCALE),
+        reachability=ReachabilityConfig(nat_share=TIMEOUT_BOUND_NAT_SHARE),
+        lookup_timeout=budget,
+    )
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed), netmodel=netmodel
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        seed=seed,
+    )
+
+
+def _register_netmodel_scenarios() -> None:
+    register(
+        ScenarioSpec(
+            name="nat-heavy-crawl",
+            description=(
+                "A NAT-heavy population the active crawler cannot dial: the "
+                "passive vantage point sees peers the crawler undercounts"
+            ),
+            builder=nat_heavy_crawl_config,
+            tags=("netmodel", "nat", "crawler"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "nat_share": NAT_HEAVY_NAT_SHARE,
+                "relay_share": NAT_HEAVY_RELAY_SHARE,
+                "crawl_interval": "duration/3 (≥ 10 min)",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="high-latency-retrieval",
+            description=(
+                "Every inter-region RTT multiplied: retrieval latency "
+                "percentiles stretch and time-bounded walks start expiring"
+            ),
+            builder=high_latency_retrieval_config,
+            tags=("netmodel", "latency"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "rtt_scale": HIGH_LATENCY_SCALE,
+                "nat_share": HIGH_LATENCY_NAT_SHARE,
+                "lookup_timeout": f"{HIGH_LATENCY_LOOKUP_TIMEOUT:g} s",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="relay-assisted-content",
+            description=(
+                "A relayed plurality keeps content retrievable — at the "
+                "relay's latency penalty on every fetch"
+            ),
+            builder=relay_assisted_content_config,
+            tags=("netmodel", "relay"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "relay_share": RELAY_ASSISTED_RELAY_SHARE,
+                "nat_share": RELAY_ASSISTED_NAT_SHARE,
+                "relay_penalty": RELAY_PENALTY,
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="timeout-bound-lookups",
+            description=(
+                "A tight simulated-time walk budget against a NATed, slowed "
+                "fabric: lookups give up instead of converging"
+            ),
+            builder=timeout_bound_lookups_config,
+            tags=("netmodel", "timeout"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "lookup_timeout": f"{TIMEOUT_BOUND_LOOKUP_BUDGET:g} s",
+                "nat_share": TIMEOUT_BOUND_NAT_SHARE,
+                "rtt_scale": TIMEOUT_BOUND_RTT_SCALE,
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+
+
 # -- adversarial scenarios ----------------------------------------------------------
 
 #: sybils as a share of the honest population (identities are cheap)
@@ -758,3 +958,4 @@ _register_paper_periods()
 _register_stress_scenarios()
 _register_content_scenarios()
 _register_adversary_scenarios()
+_register_netmodel_scenarios()

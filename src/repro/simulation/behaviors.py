@@ -231,17 +231,33 @@ class ContentBehaviors:
         config = self.config
         network = self.network
         key = self.catalog.key(item)
-        result = iterative_provide(
-            key,
-            network.dht_query,
-            lambda remote, k, p: network.add_provider(remote, k, p, config.provider_ttl),
-            peer.current_pid,
-            self._seeds(peer, key),
-            replication=config.replication,
-            max_queries=config.max_queries,
-        )
+        clock = network.netmodel_clock(peer)
+        if clock is None:
+            result = iterative_provide(
+                key,
+                network.dht_query,
+                lambda remote, k, p: network.add_provider(remote, k, p, config.provider_ttl),
+                peer.current_pid,
+                self._seeds(peer, key),
+                replication=config.replication,
+                max_queries=config.max_queries,
+            )
+            latency = self._lookup_latency(result.hops)
+        else:
+            # Under a netmodel the walk accrues real simulated time (RTTs and
+            # failed-dial timeouts) and gives up once the budget is spent.
+            result = iterative_provide(
+                key,
+                network.timed_query_fn(clock),
+                network.timed_add_provider_fn(clock, config.provider_ttl),
+                peer.current_pid,
+                self._seeds(peer, key),
+                replication=config.replication,
+                max_queries=config.max_queries,
+                give_up=clock.expired,
+            )
+            latency = clock.finish()
         peer.ensure_bitswap().add_block(self.catalog.cid(item), self.catalog.block(item))
-        latency = self._lookup_latency(result.hops)
         stats = self.stats
         if republish:
             stats.republishes += 1
@@ -278,15 +294,28 @@ class ContentBehaviors:
             self.stats.retrievals_local += 1
             return
         key = self.catalog.key(item)
-        result = iterative_find_providers(
-            key,
-            network.get_providers,
-            self._seeds(peer, key),
-            self_id=peer.current_pid,
-            max_queries=config.max_queries,
-            max_providers=config.max_providers,
-        )
-        latency = self._lookup_latency(result.hops)
+        clock = network.netmodel_clock(peer)
+        if clock is None:
+            result = iterative_find_providers(
+                key,
+                network.get_providers,
+                self._seeds(peer, key),
+                self_id=peer.current_pid,
+                max_queries=config.max_queries,
+                max_providers=config.max_providers,
+            )
+            latency = self._lookup_latency(result.hops)
+        else:
+            result = iterative_find_providers(
+                key,
+                network.timed_get_providers_fn(clock),
+                self._seeds(peer, key),
+                self_id=peer.current_pid,
+                max_queries=config.max_queries,
+                max_providers=config.max_providers,
+                give_up=clock.expired,
+            )
+            latency = clock.finish()
         success = False
         for pid in result.providers:
             provider = network.peers_by_pid.get(pid)
@@ -297,10 +326,18 @@ class ContentBehaviors:
                 continue
             if provider.bitswap is None:
                 continue
+            if network.netmodel is not None and not network.netmodel.dial(provider.net):
+                # A NATed provider holds the block but cannot be fetched from;
+                # the failed dial still costs the same timeout a walk pays.
+                latency += network.netmodel.config.reachability.dial_timeout
+                continue
             block = bitswap.fetch_from(peer.current_pid, pid, provider.bitswap, cid)
             if block is not None:
                 success = True
                 latency += self.rng.uniform(*config.transfer_latency)
+                if network.netmodel is not None:
+                    # The Bitswap exchange pays its round trip to the provider.
+                    latency += network.netmodel.rtt(peer.net, provider.net)
                 break
         stats = self.stats
         stats.retrievals += 1

@@ -23,6 +23,14 @@ This module wires the synthetic population to the measurement identities
   implementation runs: poisoned or dropped FIND_NODE / GET_PROVIDERS replies
   and black-holed ADD_PROVIDER stores.  Without an adversary installed the
   hooks are dormant ``None`` checks, so honest runs are byte-identical.
+* **network conditions** — with a :mod:`repro.netmodel` attached, every peer
+  carries a region/reachability assignment: DHT RPCs against NATed peers fail
+  like real dials do (the crawler-undercount mechanism), identify deliveries
+  are delayed by the inter-region RTT (the delay rides the existing event
+  heap), and iterative walks accrue simulated latency on a
+  :class:`~repro.netmodel.runtime.WalkClock` with a give-up budget.  Without
+  a netmodel the hooks are dormant ``None`` checks, so idealised runs are
+  byte-identical.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from repro.libp2p.multiaddr import Multiaddr, addresses_for_peer
 from repro.libp2p.peer_id import PeerId
 from repro.libp2p.protocols import AUTONAT, KAD_DHT
 from repro.core.measurement import PassiveMeasurement
+from repro.netmodel.runtime import NetModelRuntime, WalkClock
 from repro.simulation.churn_models import HOUR, MINUTE
 from repro.simulation.engine import Engine, PeriodicTask
 from repro.simulation.population import PeerClass, PeerProfile, Population
@@ -102,6 +111,7 @@ class SimPeer:
         "provider_store",
         "bitswap",
         "attacker",
+        "net",
     )
 
     def __init__(self, profile: PeerProfile, rng: random.Random) -> None:
@@ -123,6 +133,8 @@ class SimPeer:
         self.bitswap: Optional[BitswapEngine] = None
         #: malicious response behaviour (repro.adversary), None for honest peers
         self.attacker = None
+        #: network conditions (repro.netmodel), None on the idealised fabric
+        self.net = None
         self.last_online_at = float("-inf")
         self.addrs: List[Multiaddr] = addresses_for_peer(
             profile.public_ip, rng, behind_nat=profile.behind_nat
@@ -232,6 +244,19 @@ class SimulatedNetwork:
         self._stable_server_peers: Optional[List[SimPeer]] = None
         #: set by AdversaryBehaviors.install(); observes honest record stores
         self.adversary_monitor = None
+        #: network-conditions runtime; None keeps the idealised fabric.  Peer
+        #: assignments are drawn here, in peer_index order, from the model's
+        #: own RNG stream — honest draws are untouched either way.
+        self.netmodel: Optional[NetModelRuntime] = None
+        netcfg = population.config.netmodel
+        if netcfg is not None:
+            self.netmodel = NetModelRuntime(netcfg, population.config.seed)
+            for peer in self.peers:
+                profile = peer.profile
+                peer.net = self.netmodel.assign_peer(
+                    behind_nat=profile.behind_nat,
+                    force_public=profile.is_hydra_head or profile.is_crawler,
+                )
         self._duration: Optional[float] = None
         self._tasks: List[PeriodicTask] = []
         self._started = False
@@ -250,6 +275,9 @@ class SimulatedNetwork:
             raise RuntimeError("network already started")
         self._started = True
         self._duration = duration
+        if self.netmodel is not None:
+            for identity in self.identities:
+                self.netmodel.assign_identity(identity.label)
         self._build_routing_tables()
         self._compute_neighborhoods()
         for identity in self.identities:
@@ -406,9 +434,12 @@ class SimulatedNetwork:
         peer.connections[identity.label] = conn
         self.peers_by_pid[peer.current_pid] = peer
         if peer.agent is not None and self.rng.random() < self.config.identify_success:
-            self.engine.schedule(
-                self.rng.uniform(0.5, 5.0), self._deliver_identify, peer, identity
-            )
+            delay = self.rng.uniform(0.5, 5.0)
+            if self.netmodel is not None:
+                # Identify is a request/response exchange: one round trip on
+                # top of the processing delay (riding the same event heap).
+                delay += self.netmodel.identity_rtt(identity.label, peer.net)
+            self.engine.schedule(delay, self._deliver_identify, peer, identity)
         self._plan_connection_end(peer, identity, conn)
 
     def _deliver_identify(self, peer: SimPeer, identity: MeasurementIdentity) -> None:
@@ -514,13 +545,18 @@ class SimulatedNetwork:
             return
         batch = min(self.config.outbound_dial_batch, len(dialable))
         for peer in self.rng.sample(dialable, batch):
+            if self.netmodel is not None and not self.netmodel.dial(peer.net):
+                # The measurement node cannot dial through the peer's NAT;
+                # the attempt is counted, no connection is recorded.
+                continue
             conn = identity.node.dial(peer.current_pid, peer.dial_addr(), now)
             peer.connections[identity.label] = conn
             self.peers_by_pid[peer.current_pid] = peer
             if peer.agent is not None and self.rng.random() < self.config.identify_success:
-                self.engine.schedule(
-                    self.rng.uniform(0.5, 5.0), self._deliver_identify, peer, identity
-                )
+                delay = self.rng.uniform(0.5, 5.0)
+                if self.netmodel is not None:
+                    delay += self.netmodel.identity_rtt(identity.label, peer.net)
+                self.engine.schedule(delay, self._deliver_identify, peer, identity)
             # Outbound connections are valued even less by the remote side: we
             # dialled them, they did not ask for us.
             delay = self.config.remote_grace + self.rng.expovariate(
@@ -541,11 +577,21 @@ class SimulatedNetwork:
         """FIND_NODE against a simulated peer (used by the crawler baseline).
 
         Peers carrying an attacker behaviour may poison, shadow, or drop the
-        reply; honest peers answer from their routing table.
+        reply; honest peers answer from their routing table.  Under a
+        netmodel, a NATed peer is undialable: the query fails exactly like a
+        real crawler's dial does, which is what opens the
+        crawler-undercount-vs-passive gap.
         """
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
+        if self.netmodel is not None and not self.netmodel.dial(peer.net):
+            return None
+        return self._answer_find_node(peer, target, count)
+
+    def _answer_find_node(
+        self, peer: SimPeer, target: int, count: int
+    ) -> Optional[List[PeerId]]:
         if peer.attacker is not None:
             return peer.attacker.on_find_node(self, peer, target, count)
         return self.honest_find_node(peer, target, count)
@@ -582,6 +628,13 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
+        if self.netmodel is not None and not self.netmodel.dial(peer.net):
+            return None
+        return self._answer_add_provider(peer, key, provider, ttl)
+
+    def _answer_add_provider(
+        self, peer: SimPeer, key: int, provider: PeerId, ttl: float
+    ) -> Optional[bool]:
         if peer.attacker is not None:
             return peer.attacker.on_add_provider(self, peer, key, provider, ttl)
         return self.honest_add_provider(peer, key, provider, ttl)
@@ -606,6 +659,13 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
+        if self.netmodel is not None and not self.netmodel.dial(peer.net):
+            return None
+        return self._answer_get_providers(peer, key, count)
+
+    def _answer_get_providers(
+        self, peer: SimPeer, key: int, count: int = 20
+    ) -> Optional[tuple]:
         if peer.attacker is not None:
             return peer.attacker.on_get_providers(self, peer, key, count)
         return self.honest_get_providers(peer, key, count)
@@ -620,6 +680,64 @@ class SimulatedNetwork:
             providers = []
         closer = self.honest_find_node(peer, key, count) or []
         return providers, closer
+
+    # ------------------------------------------------------- timed RPC wrappers ----
+
+    def netmodel_clock(self, peer: SimPeer) -> Optional[WalkClock]:
+        """A latency clock for one of ``peer``'s iterative walks (None on the
+        idealised fabric — callers fall back to the zero-latency RPCs)."""
+        if self.netmodel is None:
+            return None
+        return self.netmodel.clock(peer.net)
+
+    def _timed_peer(self, clock: WalkClock, remote: PeerId) -> Optional[SimPeer]:
+        """Resolve a timed RPC's target and charge the wire time.
+
+        One place for the queryable-peer precondition shared with the untimed
+        RPCs plus the clock accounting: a dead/client target answers nothing
+        (and costs nothing), a NATed one burns the dial timeout, a reachable
+        one is charged a round trip and returned for the ``_answer_*`` path.
+        """
+        peer = self.peers_by_pid.get(remote)
+        if peer is None or not peer.online or not peer.is_dht_server:
+            return None
+        if not clock.dial(peer.net):
+            return None
+        clock.charge(peer.net)
+        return peer
+
+    def timed_query_fn(self, clock: WalkClock):
+        """A FIND_NODE query function that accrues dial/RTT time on ``clock``."""
+
+        def query(remote: PeerId, target: int, count: int) -> Optional[List[PeerId]]:
+            peer = self._timed_peer(clock, remote)
+            if peer is None:
+                return None
+            return self._answer_find_node(peer, target, count)
+
+        return query
+
+    def timed_add_provider_fn(self, clock: WalkClock, ttl: float):
+        """An ADD_PROVIDER function that accrues dial/RTT time on ``clock``."""
+
+        def add_provider(remote: PeerId, key: int, provider: PeerId) -> Optional[bool]:
+            peer = self._timed_peer(clock, remote)
+            if peer is None:
+                return None
+            return self._answer_add_provider(peer, key, provider, ttl)
+
+        return add_provider
+
+    def timed_get_providers_fn(self, clock: WalkClock, count: int = 20):
+        """A GET_PROVIDERS function that accrues dial/RTT time on ``clock``."""
+
+        def get_providers(remote: PeerId, key: int) -> Optional[tuple]:
+            peer = self._timed_peer(clock, remote)
+            if peer is None:
+                return None
+            return self._answer_get_providers(peer, key, count)
+
+        return get_providers
 
     def sweep_provider_stores(self, now: float) -> int:
         """Expire provider records on every store; returns records dropped."""

@@ -30,6 +30,7 @@ from repro.kademlia.dht import DHTMode
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (profiles are built lazily)
     from repro.adversary.config import AdversaryConfig
+    from repro.netmodel.config import NetModelConfig
 from repro.libp2p.multiaddr import random_public_ipv4
 from repro.libp2p.protocols import (
     crawler_protocols,
@@ -194,6 +195,12 @@ class PopulationConfig:
     #: (``None``, the default, adds none and draws nothing from any RNG, so
     #: every pre-existing fixed-seed golden stays byte-identical)
     adversary: Optional["AdversaryConfig"] = None
+    #: network-conditions model (region latency, NAT/reachability, dial and
+    #: lookup timeouts) the fabric runs under; ``None``, the default, keeps
+    #: the idealised zero-latency fully-dialable fabric and draws nothing
+    #: from any RNG, so every pre-existing fixed-seed golden stays
+    #: byte-identical
+    netmodel: Optional["NetModelConfig"] = None
 
     def __post_init__(self) -> None:
         if self.n_peers <= 0:

@@ -20,6 +20,7 @@ from repro.crawler.monitor import DEFAULT_CRAWL_INTERVAL, CrawlMonitor
 from repro.hydra.hydra import HydraNode
 from repro.ipfs.config import IpfsConfig
 from repro.ipfs.node import IpfsNode
+from repro.netmodel.runtime import NetModelStats
 from repro.simulation.behaviors import BehaviorConfig, ContentBehaviors, MetadataBehaviors
 from repro.simulation.churn_models import DAY
 from repro.simulation.content import ContentRoutingConfig, ContentRoutingStats
@@ -98,6 +99,8 @@ class ScenarioResult:
     content: Optional[ContentRoutingStats] = None
     #: adversary ground truth (None when the scenario deployed no attackers)
     adversary: Optional[AttackStats] = None
+    #: network-conditions ground truth (None on the idealised fabric)
+    netmodel: Optional[NetModelStats] = None
     #: base58 PID per measurement identity label (analysis needs the vantage
     #: point's keyspace position, e.g. for neighbourhood-density estimates)
     identity_keys: Dict[str, str] = field(default_factory=dict)
@@ -244,6 +247,9 @@ class Scenario:
             autonat_flips=self.behaviors.autonat_flips_applied,
             content=content_stats,
             adversary=attack_stats,
+            netmodel=(
+                self.network.netmodel.stats if self.network.netmodel is not None else None
+            ),
             identity_keys={
                 identity.label: str(identity.peer_id) for identity in self.identities
             },

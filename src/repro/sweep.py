@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.attack_report import attack_metrics
 from repro.analysis.content_report import content_metrics
+from repro.analysis.reachability_report import reachability_metrics
 from repro.analysis.sweep_report import (
     CELL_SCHEMA,
     aggregate_payload,
@@ -42,6 +43,15 @@ from repro.scenarios import run_scenario_by_name, scenario, scenarios
 
 #: default output directory of sweep artifacts
 DEFAULT_OUT_DIR = "sweep_out"
+
+
+class SweepOutputError(RuntimeError):
+    """Raised when the output directory already holds artifacts (no --force).
+
+    A re-run into a non-empty directory would silently mix old and new cell
+    JSON (stale cells from a previous flag set survive alongside fresh ones),
+    so the sweep refuses before simulating anything.
+    """
 
 
 def parse_duration_days(text: str) -> float:
@@ -124,6 +134,7 @@ def summarize_result(name: str, n_peers: int, duration_days: float, seed: int, r
         "churn": churn,
         "content": content_metrics(result.content),
         "adversary": attack_metrics(result),
+        "netmodel": reachability_metrics(result),
     }
 
 
@@ -168,13 +179,27 @@ def run_sweep(
     duration_days: Optional[float],
     out_dir: str,
     workers: Optional[int] = None,
+    force: bool = False,
 ) -> Tuple[List[Dict], List[Dict]]:
     """Run the cartesian sweep and write all artifacts into ``out_dir``.
 
     Returns ``(summaries, failures)``.  Cell order (and therefore aggregate
     order) is scenarios × populations × seeds as given — deterministic for a
     given flag set even when the cells themselves run in parallel workers.
+    A non-empty ``out_dir`` is refused unless ``force`` is set, and ``force``
+    deletes the previous run's artifacts (``*.json``, ``sweep_table.txt``)
+    up front — so a re-run can never silently mix stale and fresh cell JSON.
     """
+    if os.path.isdir(out_dir) and os.listdir(out_dir):
+        if not force:
+            raise SweepOutputError(
+                f"output directory {out_dir!r} is not empty; pass --force to "
+                "overwrite (stale cells from a previous run would otherwise "
+                "survive alongside the new ones)"
+            )
+        for name in os.listdir(out_dir):
+            if name.endswith(".json") or name == "sweep_table.txt":
+                os.remove(os.path.join(out_dir, name))
     for name in scenario_names:
         scenario(name)  # fail fast on unknown names, before any simulation
     cells = [
@@ -249,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"output directory for the JSON/table artifacts (default: {DEFAULT_OUT_DIR})",
     )
     parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite a non-empty --out directory (refused otherwise)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: REPRO_BENCH_WORKERS or 1)",
     )
@@ -291,9 +320,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not names or not seeds:
         parser.error("need at least one scenario and one seed")
 
-    summaries, failures = run_sweep(
-        names, seeds, peers_list, args.duration, args.out, workers=args.workers
-    )
+    try:
+        summaries, failures = run_sweep(
+            names, seeds, peers_list, args.duration, args.out,
+            workers=args.workers, force=args.force,
+        )
+    except SweepOutputError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_aggregate(summaries, failures), end="")
     print(f"\nwrote {len(summaries)} cell summaries to {args.out}/")
     if failures:

@@ -7,10 +7,12 @@ from repro.core.netsize import (
     classify_peers,
     connection_cdfs,
     estimate_by_multiaddress,
+    estimate_by_neighborhood_density,
     estimate_network_size,
     peer_connection_summaries,
 )
 from repro.core.records import ConnectionRecord, MeasurementDataset
+from repro.kademlia.keys import KEY_BITS
 
 HOUR = 3_600.0
 
@@ -99,6 +101,68 @@ class TestConnectionCDFs:
         assert len(cdfs["dht-server"].max_duration) == 2
         assert len(cdfs["dht-client"].max_duration) == 2
         assert len(cdfs["all"].max_duration) == 5
+
+
+class TestDensityEstimateEdgeCases:
+    """The rank-regression estimator at the edges of its sample window."""
+
+    SPAN = float(1 << KEY_BITS)
+
+    def _expected(self, distances):
+        # Hand-computed least-squares fit through the origin:
+        # N + 1 = sum(i^2) / sum(i * d_i / 2^256).
+        numerator = sum((i + 1) ** 2 for i in range(len(distances)))
+        denominator = sum((i + 1) * (d / self.SPAN) for i, d in enumerate(distances))
+        return numerator / denominator - 1.0
+
+    def test_fewer_samples_than_the_rank_window(self):
+        # Five observed keys against k=20: the regression runs over the five
+        # available ranks instead of padding or failing.
+        target = 0
+        keys = [1 << 200, 2 << 200, 3 << 200, 4 << 200, 5 << 200]
+        estimate = estimate_by_neighborhood_density(keys, target, k=20)
+        assert estimate.k == 20
+        assert estimate.sample_size == 5
+        assert estimate.estimate == pytest.approx(self._expected(sorted(keys)))
+
+    def test_duplicate_distances(self):
+        # Two peers at the same distance (distinct keys can share a distance
+        # to a third target): both ranks enter the fit, no deduplication.
+        target = 0
+        keys = [7 << 100, 7 << 100, 9 << 100]
+        estimate = estimate_by_neighborhood_density(keys, target, k=20)
+        assert estimate.sample_size == 3
+        assert estimate.estimate == pytest.approx(self._expected(sorted(keys)))
+
+    def test_single_peer_neighborhood(self):
+        target = 0
+        key = 1 << 255
+        estimate = estimate_by_neighborhood_density([key], target, k=20)
+        assert estimate.sample_size == 1
+        # One rank: N + 1 = 1 / (d / 2^256) = 2, so the estimate is 1 peer.
+        assert estimate.estimate == pytest.approx(1.0)
+
+    def test_no_samples(self):
+        estimate = estimate_by_neighborhood_density([], target=123, k=20)
+        assert estimate.sample_size == 0
+        assert estimate.estimate == 0.0
+        assert estimate.inflation_over(1000) == 0.0
+
+    def test_all_keys_on_the_target(self):
+        # Degenerate zero-distance neighbourhood: infinite density.
+        estimate = estimate_by_neighborhood_density([42, 42], target=42)
+        assert estimate.estimate == float("inf")
+
+    def test_denser_neighborhood_estimates_larger_network(self):
+        target = 0
+        sparse = [i << 248 for i in range(1, 21)]
+        dense = [i << 240 for i in range(1, 21)]
+        sparse_est = estimate_by_neighborhood_density(sparse, target)
+        dense_est = estimate_by_neighborhood_density(dense, target)
+        assert dense_est.estimate > sparse_est.estimate
+        assert sparse_est.inflation_over(100) == pytest.approx(
+            sparse_est.estimate / 100
+        )
 
 
 class TestNetworkSizeReport:

@@ -52,6 +52,13 @@ ADVERSARY_NAMES = [
     "spoofed-churn-classification",
 ]
 
+NETMODEL_NAMES = [
+    "nat-heavy-crawl",
+    "high-latency-retrieval",
+    "relay-assisted-content",
+    "timeout-bound-lookups",
+]
+
 
 class TestRegistry:
     def test_all_paper_periods_registered(self):
@@ -66,6 +73,9 @@ class TestRegistry:
 
     def test_all_adversary_scenarios_registered(self):
         assert scenario_names("adversary") == ADVERSARY_NAMES
+
+    def test_all_netmodel_scenarios_registered(self):
+        assert scenario_names("netmodel") == NETMODEL_NAMES
 
     def test_lookup_is_case_insensitive(self):
         assert scenario("P1") is scenario("p1")
@@ -181,6 +191,10 @@ class TestGoldenEventCounts:
         "eclipse-provider": {"events": 665, "connections": 41},
         "poisoned-routing-under-churn": {"events": 647, "connections": 58},
         "spoofed-churn-classification": {"events": 1235, "connections": 128},
+        "nat-heavy-crawl": {"events": 172, "connections": 15},
+        "high-latency-retrieval": {"events": 516, "connections": 26},
+        "relay-assisted-content": {"events": 516, "connections": 26},
+        "timeout-bound-lookups": {"events": 488, "connections": 15},
     }
 
     def test_golden_covers_the_whole_catalog(self):

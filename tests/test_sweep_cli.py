@@ -180,6 +180,88 @@ class TestAdversaryCells:
         assert summary["adversary"] is None
 
 
+class TestNetmodelCells:
+    def test_netmodel_scenario_reports_reachability(self, tmp_path):
+        out = tmp_path / "net"
+        assert main([
+            "--scenarios", "nat-heavy-crawl",
+            "--seeds", "11",
+            "--peers", "60",
+            "--duration", "0.02d",
+            "--out", str(out),
+        ]) == 0
+        with open(out / "nat-heavy-crawl__n60__s11.json") as handle:
+            summary = json.load(handle)
+        netmodel = summary["netmodel"]
+        assert netmodel["unreachable_share"] > 0.0
+        assert netmodel["dial_failures"] > 0
+        assert netmodel["crawl"]["union_reachable"] <= netmodel["crawl"]["union_discovered"]
+        # round-trips through JSON without loss
+        assert json.loads(json.dumps(summary)) == summary
+        table = (out / "sweep_table.txt").read_text()
+        assert "Unreach" in table and "crawl -" in table
+
+    def test_idealised_cells_carry_null(self, micro_sweep):
+        with open(micro_sweep / "p1__n50__s7.json") as handle:
+            summary = json.load(handle)
+        assert summary["netmodel"] is None
+
+
+class TestOutputHygiene:
+    """Satellite: a re-run must not silently mix old and new cell JSON."""
+
+    FLAGS = [
+        "--scenarios", "p1",
+        "--seeds", "7",
+        "--peers", "30",
+        "--duration", "0.01d",
+    ]
+
+    def test_refuses_a_non_empty_out_dir(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        out.mkdir()
+        (out / "stale__n99__s1.json").write_text("{}")
+        exit_code = main(self.FLAGS + ["--out", str(out)])
+        assert exit_code == 2
+        assert "--force" in capsys.readouterr().err
+        # nothing was simulated or written: the stale artifact is untouched
+        assert os.listdir(out) == ["stale__n99__s1.json"]
+
+    def test_force_clears_stale_artifacts(self, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        (out / "stale__n99__s1.json").write_text("{}")
+        (out / "sweep_table.txt").write_text("old table")
+        (out / "notes.md").write_text("unrelated")  # non-artifact: untouched
+        assert main(self.FLAGS + ["--out", str(out), "--force"]) == 0
+        assert (out / "p1__n30__s7.json").exists()
+        assert not (out / "stale__n99__s1.json").exists()
+        assert "old table" not in (out / "sweep_table.txt").read_text()
+        assert (out / "notes.md").read_text() == "unrelated"
+
+    def test_empty_or_missing_out_dir_needs_no_force(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(self.FLAGS + ["--out", str(empty)]) == 0
+        missing = tmp_path / "missing"
+        assert main(self.FLAGS + ["--out", str(missing)]) == 0
+
+    def test_run_sweep_raises_before_simulating(self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+        from repro.sweep import SweepOutputError, run_sweep
+
+        out = tmp_path / "out"
+        out.mkdir()
+        (out / "stale.json").write_text("{}")
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("cells ran despite a dirty output directory")
+
+        monkeypatch.setattr(sweep_mod, "run_cells", boom)
+        with pytest.raises(SweepOutputError, match="not empty"):
+            run_sweep(["p1"], [7], [30], 0.01, str(out))
+
+
 class TestFailingCells:
     """Satellite: a failing cell must not sink the sweep, but must exit nonzero."""
 
