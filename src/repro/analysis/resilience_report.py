@@ -1,0 +1,112 @@
+"""Resilience metrics: success under faults, retries, recovery, stale records.
+
+Scenarios run with a :mod:`repro.faults` config report a
+:class:`~repro.faults.runtime.FaultStats` per run; this module reduces it to
+the deterministic, JSON-serialisable ``resilience`` block the sweep CLI
+embeds in every cell summary:
+
+* injected-fault volume (RPC/Bitswap loss, duplication, partition drops),
+* the crash/restart process and its recovery republishes,
+* retry amplification (actual attempts per logical RPC) and how many lost
+  RPCs the retries saved,
+* time-to-recover percentiles after a partition heal, and
+* the stale-provider-record rate retrievers observe (crash leftovers).
+
+Everything rounds to fixed precision and orders deterministically, so the
+block embeds into sweep-cell JSON byte-identically across reruns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.content_report import quantile_block
+
+
+def resilience_metrics(result) -> Optional[Dict]:
+    """Reduce a run's fault-injection ground truth to the sweep cell's
+    ``resilience`` block (``None`` for scenarios on the fault-free fabric)."""
+    stats = getattr(result, "faults", None)
+    if stats is None:
+        return None
+    block: Dict = {
+        "peers": stats.peers,
+        "crash_eligible": stats.crash_eligible,
+        "slow_nodes": stats.slow_nodes,
+        "partition_minority": stats.partition_minority,
+        "rpc": {
+            "attempts": stats.rpc_attempts,
+            "lost": stats.rpc_lost,
+            "duplicated": stats.rpc_duplicated,
+            "partitioned": stats.rpc_partitioned,
+            "loss_rate": round(stats.rpc_loss_rate, 6),
+        },
+        "bitswap": {
+            "attempts": stats.bitswap_attempts,
+            "lost": stats.bitswap_lost,
+            "partitioned": stats.bitswap_partitioned,
+        },
+        "crash": {
+            "crashes": stats.crashes,
+            "restarts": stats.restarts,
+            "recovery_republishes": stats.recovery_republishes,
+        },
+        "retry": {
+            "calls": stats.retry_calls,
+            "retries": stats.retry_extra,
+            "recoveries": stats.retry_recoveries,
+            "amplification": round(stats.retry_amplification, 6),
+            "recovery_rate": round(stats.retry_recovery_rate, 6),
+        },
+        "stale": {
+            "provider_checks": stats.provider_checks,
+            "stale_hits": stats.stale_provider_hits,
+            "stale_rate": round(stats.stale_provider_rate, 6),
+        },
+        "slow": {
+            "charges": stats.slow_charges,
+            "penalty_total": round(stats.slow_penalty_total, 6),
+        },
+        "blocked": {
+            "contacts": stats.contacts_blocked,
+            "dials": stats.dials_blocked,
+        },
+    }
+    content = getattr(result, "content", None)
+    if content is not None and content.retrievals:
+        # Success-under-faults: the workload's own success rate, repeated here
+        # so the resilience block is self-contained for regime comparisons.
+        block["retrieval_success_rate"] = round(
+            content.retrieval_successes / content.retrievals, 6
+        )
+    if stats.heal_time is not None:
+        block["partition"] = {
+            "severed": stats.partition_severed,
+            "heal_time": round(stats.heal_time, 6),
+            "recovered_peers": stats.recovered_peers,
+            "recovery": quantile_block(stats.recovery_delays, 4),
+        }
+    return block
+
+
+def resilience_headline(block: Optional[Dict]) -> str:
+    """A compact, table-cell-sized summary of the dominant resilience story."""
+    if not block:
+        return "-"
+    retry = block["retry"]
+    if retry["calls"] and retry["retries"]:
+        return f"rty x{retry['amplification']:.2f}"
+    partition = block.get("partition")
+    if partition and partition["recovered_peers"]:
+        recovery = partition["recovery"] or {}
+        p90 = recovery.get("p90")
+        if p90 is not None:
+            return f"heal {p90:.0f}s"
+        return f"heal {partition['recovered_peers']}"
+    rpc = block["rpc"]
+    if rpc["attempts"] and rpc["loss_rate"] > 0:
+        return f"loss {rpc['loss_rate']:.2f}"
+    crash = block["crash"]
+    if crash["crashes"]:
+        return f"cr {crash['crashes']}"
+    return "-"

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.attack_report import attack_headline
 from repro.analysis.reachability_report import reachability_headline
+from repro.analysis.resilience_report import resilience_headline
 from repro.analysis.tables import TextTable, format_count
 
 #: schema tags of the sweep artifacts
@@ -59,6 +60,17 @@ def aggregate_payload(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) 
         "lookup_timeouts": sum(
             s["netmodel"]["lookup_timeouts"] for s in summaries if s.get("netmodel")
         ),
+        "faulted_rpcs": sum(
+            s["resilience"]["rpc"]["lost"] + s["resilience"]["rpc"]["partitioned"]
+            for s in summaries
+            if s.get("resilience")
+        ),
+        "crashes": sum(
+            s["resilience"]["crash"]["crashes"] for s in summaries if s.get("resilience")
+        ),
+        "retries": sum(
+            s["resilience"]["retry"]["retries"] for s in summaries if s.get("resilience")
+        ),
     }
     return {
         "schema": SWEEP_SCHEMA,
@@ -75,6 +87,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
             "Scenario", "Peers", "Seed", "Events", "Dataset",
             "PIDs", "Conns", "Avg dur (s)", "Trim share", "Queries",
             "Retr", "Retr OK", "Atk", "Attack", "Unreach", "Net",
+            "Faults", "Resil",
         ],
         title="Scenario sweep",
     )
@@ -85,6 +98,15 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
         content = summary.get("content")
         adversary = summary.get("adversary")
         netmodel = summary.get("netmodel")
+        resilience = summary.get("resilience")
+        faulted = (
+            resilience["rpc"]["lost"]
+            + resilience["rpc"]["partitioned"]
+            + resilience["bitswap"]["lost"]
+            + resilience["bitswap"]["partitioned"]
+            if resilience
+            else 0
+        )
         table.add_row(
             summary["scenario"],
             summary["n_peers"],
@@ -102,6 +124,8 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
             attack_headline(adversary),
             f"{netmodel['unreachable_share']:.2f}" if netmodel else "-",
             reachability_headline(netmodel),
+            format_count(faulted) if resilience else "-",
+            resilience_headline(resilience),
         )
     return table
 
@@ -128,6 +152,12 @@ def render_aggregate(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) -
         totals_line += f", {format_count(totals['dial_failures'])} failed dials"
     if totals["lookup_timeouts"]:
         totals_line += f", {format_count(totals['lookup_timeouts'])} lookup timeouts"
+    if totals["faulted_rpcs"]:
+        totals_line += f", {format_count(totals['faulted_rpcs'])} faulted RPCs"
+    if totals["retries"]:
+        totals_line += f", {format_count(totals['retries'])} retries"
+    if totals["crashes"]:
+        totals_line += f", {format_count(totals['crashes'])} crashes"
     lines.append(totals_line)
     for failure in failures:
         lines.append(

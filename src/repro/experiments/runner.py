@@ -90,7 +90,9 @@ def bench_workers(default: int = 1) -> int:
     return max(1, workers) if raw else default
 
 
-def run_cells(fn, cells: Iterable[Sequence], workers: Optional[int] = None) -> List:
+def run_cells(
+    fn, cells: Iterable[Sequence], workers: Optional[int] = None, on_result=None
+) -> List:
     """Apply ``fn(*cell)`` to every cell, optionally in a process pool.
 
     The generic fan-out behind both the multi-period benchmark runner and the
@@ -98,14 +100,31 @@ def run_cells(fn, cells: Iterable[Sequence], workers: Optional[int] = None) -> L
     cell is independently seeded the pool changes wall time only — never
     results.  ``fn`` must be a module-level callable (workers import it by
     name) and each cell a tuple of its positional arguments.
+
+    ``on_result(index, result)`` is invoked in input order as each result
+    becomes available — the sweep's checkpoint hook: a killed run has every
+    completed prefix cell already written to disk.  (On the pool path a slow
+    early cell delays the callbacks of later ones; the prefix on disk is
+    still contiguous, which is all resume needs.)
     """
     cells = [tuple(cell) for cell in cells]
     workers = bench_workers() if workers is None else max(1, workers)
+    results: List = []
     if workers <= 1 or len(cells) <= 1:
-        return [fn(*cell) for cell in cells]
+        for cell in cells:
+            result = fn(*cell)
+            if on_result is not None:
+                on_result(len(results), result)
+            results.append(result)
+        return results
     with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
         futures = [pool.submit(fn, *cell) for cell in cells]
-        return [future.result() for future in futures]
+        for future in futures:
+            result = future.result()
+            if on_result is not None:
+                on_result(len(results), result)
+            results.append(result)
+        return results
 
 
 def _fan_out(fn, period_ids: Iterable[str], workers: Optional[int], **kwargs) -> List:

@@ -1,0 +1,101 @@
+"""Retry policy with capped exponential backoff and deterministic jitter.
+
+The policy is pure configuration; the per-walk :class:`RetryState` carries the
+RNG (the fault stream), the optional :class:`~repro.netmodel.runtime.WalkClock`
+(so backoff burns the walk's latency budget and retries stop once the budget
+is spent), and the stats sink.  The kademlia walks and the Bitswap engine only
+duck-call ``retry.call(fn, *args)`` — they never import this module at
+runtime, which keeps the protocol layers free of fault dependencies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``base_delay * multiplier**n``, jittered."""
+
+    # Total attempts per logical RPC, including the first one.
+    max_attempts: int = 3
+    # Backoff before the first retry, in seconds.
+    base_delay: float = 0.25
+    # Exponential growth factor between consecutive retries.
+    multiplier: float = 2.0
+    # Hard cap on a single backoff interval, in seconds.
+    max_delay: float = 8.0
+    # Relative jitter: each backoff is scaled by 1 + U(-jitter, +jitter).
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be at least 1, got {self.max_attempts}")
+        if self.base_delay <= 0.0:
+            raise ValueError(f"base_delay must be positive, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be at least 1, got {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay must be at least base_delay, got "
+                f"{self.max_delay} < {self.base_delay}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be within [0, 1), got {self.jitter}")
+
+    def backoff(self, retry_index: int, rng: Optional[random.Random] = None) -> float:
+        """Backoff before retry number ``retry_index`` (0-based), in seconds."""
+        delay = min(self.base_delay * self.multiplier**retry_index, self.max_delay)
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return delay
+
+
+class RetryState:
+    """One walk's retry executor; hand it to the walk as ``retry=``."""
+
+    __slots__ = ("policy", "rng", "clock", "stats")
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        rng: random.Random,
+        clock: Optional[Any] = None,
+        stats: Optional[Any] = None,
+    ) -> None:
+        self.policy = policy
+        self.rng = rng
+        self.clock = clock
+        self.stats = stats
+
+    def call(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)``, retrying ``None`` results with backoff.
+
+        ``None`` is the fabric's network-failure sentinel; any other value
+        (including an empty reply) counts as delivered.  Backoff time is
+        charged to the walk clock when one is attached, so retries respect
+        the walk's latency budget: once the clock expires the remaining
+        attempts are abandoned rather than burning more budget.
+        """
+        stats = self.stats
+        if stats is not None:
+            stats.retry_calls += 1
+        result = fn(*args)
+        attempt = 1
+        while result is None and attempt < self.policy.max_attempts:
+            delay = self.policy.backoff(attempt - 1, self.rng)
+            if self.clock is not None:
+                # The backoff wait burns walk budget; if it (or earlier RPCs)
+                # spent the budget, abandon the remaining attempts.
+                self.clock.elapsed += delay
+                if self.clock.expired():
+                    break
+            attempt += 1
+            if stats is not None:
+                stats.retry_extra += 1
+            result = fn(*args)
+            if result is not None and stats is not None:
+                stats.retry_recoveries += 1
+        return result

@@ -91,7 +91,13 @@ class BitswapEngine:
         return wanted
 
     def fetch_from(
-        self, local_peer: PeerId, remote_peer: PeerId, remote: "BitswapEngine", cid: str
+        self,
+        local_peer: PeerId,
+        remote_peer: PeerId,
+        remote: "BitswapEngine",
+        cid: str,
+        deliver=None,
+        retry=None,
     ) -> Optional[bytes]:
         """One want/block round trip against a connected remote engine.
 
@@ -100,11 +106,26 @@ class BitswapEngine:
         ledger records bytes/blocks sent), and our ledger records the receipt.
         Returns the block, or ``None`` when the remote does not have it (or
         either side runs with Bitswap disabled).
+
+        ``deliver`` is an optional fault gate (``() -> bool``, from
+        :mod:`repro.faults`): when it returns False the exchange is lost on
+        the wire before the remote serves anything.  ``retry`` is an optional
+        duck-typed executor with ``call(fn)`` that re-issues lost exchanges
+        with backoff.  Both default to the fault-free single-shot behaviour.
         """
         if not self.enabled:
             return None
         self.want(cid)
-        block = remote.handle_want(local_peer, cid)
+
+        def attempt() -> Optional[bytes]:
+            if deliver is not None and not deliver():
+                return None
+            return remote.handle_want(local_peer, cid)
+
+        if retry is None:
+            block = attempt()
+        else:
+            block = retry.call(attempt)
         if block is None:
             return None
         self.handle_block(remote_peer, cid, block)

@@ -110,6 +110,7 @@ def iterative_lookup(
     on_found: Optional[Callable[[PeerId], None]] = None,
     stop: Optional[Callable[[], bool]] = None,
     give_up: Optional[Callable[[], bool]] = None,
+    retry=None,
 ) -> LookupResult:
     """Iteratively converge on the ``count`` peers closest to ``target``.
 
@@ -123,7 +124,10 @@ def iterative_lookup(
     the failure-side twin: re-checked after every query, it abandons the walk
     when its budget (e.g. a netmodel's simulated-time lookup timeout) is
     exhausted — the result keeps whatever was found, but does not count as a
-    satisfied early stop.
+    satisfied early stop.  ``retry`` is an optional duck-typed executor with
+    a ``call(fn, *args)`` method (:class:`repro.faults.retry.RetryState`)
+    that re-issues ``None``-answered queries with backoff; ``None`` keeps the
+    single-shot behaviour.
     """
     candidates: Set[PeerId] = set(seeds)
     if self_id is not None:
@@ -150,7 +154,10 @@ def iterative_lookup(
         hops += 1
         for peer in batch:
             queried.add(peer)
-            reply = query(peer, target, count)
+            if retry is None:
+                reply = query(peer, target, count)
+            else:
+                reply = retry.call(query, peer, target, count)
             if give_up is not None and give_up():
                 expired = True
             if reply is None:
@@ -197,10 +204,13 @@ def iterative_provide(
     max_queries: int = 64,
     on_found: Optional[Callable[[PeerId], None]] = None,
     give_up: Optional[Callable[[], bool]] = None,
+    retry=None,
 ) -> ProvideResult:
     """Publish a provider record: converge on ``key`` and store the record on
     the ``replication`` closest servers that accept it.  A walk abandoned by
-    ``give_up`` still stores on the closest servers found so far."""
+    ``give_up`` still stores on the closest servers found so far.  ``retry``
+    (duck-typed, see :func:`iterative_lookup`) re-issues lost queries and
+    lost store RPCs with backoff."""
     lookup = iterative_lookup(
         key,
         query,
@@ -211,12 +221,17 @@ def iterative_provide(
         max_queries=max_queries,
         on_found=on_found,
         give_up=give_up,
+        retry=retry,
     )
     stored_on: List[PeerId] = []
     for peer in lookup.closest:
         if len(stored_on) >= replication:
             break
-        if add_provider(peer, key, provider):
+        if retry is None:
+            stored = add_provider(peer, key, provider)
+        else:
+            stored = retry.call(add_provider, peer, key, provider)
+        if stored:
             stored_on.append(peer)
     return ProvideResult(key=key, stored_on=stored_on, lookup=lookup)
 
@@ -232,13 +247,16 @@ def iterative_find_providers(
     max_providers: int = DEFAULT_CLOSER_PEERS,
     on_found: Optional[Callable[[PeerId], None]] = None,
     give_up: Optional[Callable[[], bool]] = None,
+    retry=None,
 ) -> FindProvidersResult:
     """Resolve the providers of ``key``.
 
     The walk *is* :func:`iterative_lookup` — GET_PROVIDERS replies are
     adapted into FIND_NODE-shaped ones (their provider payload accumulates on
     the side) and the shared walk stops early once ``max_providers`` distinct
-    providers are known.
+    providers are known.  ``retry`` (duck-typed, see
+    :func:`iterative_lookup`) re-issues lost GET_PROVIDERS with backoff; the
+    adapter is idempotent, so a retried reply never double-counts providers.
     """
     providers: List[PeerId] = []
     provider_set: Set[PeerId] = set()
@@ -265,6 +283,7 @@ def iterative_find_providers(
         on_found=on_found,
         stop=lambda: len(providers) >= max_providers,
         give_up=give_up,
+        retry=retry,
     )
     return FindProvidersResult(
         key=key,

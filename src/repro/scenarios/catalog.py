@@ -1,6 +1,6 @@
 """The built-in scenario catalog.
 
-Five families are registered at import time:
+Six families are registered at import time:
 
 * the six paper measurement periods (``p0`` … ``p4``, ``p14``), thin wrappers
   around :mod:`repro.experiments.periods` so the sweep CLI can run Table I
@@ -22,7 +22,11 @@ Five families are registered at import time:
 * four network-realism scenarios (:mod:`repro.netmodel`) that drop the
   idealised zero-latency, fully-dialable fabric: a NAT-heavy population the
   crawler undercounts, a high-RTT regime stretching retrieval latencies, a
-  relay-assisted content workload, and time-bounded lookups that give up.
+  relay-assisted content workload, and time-bounded lookups that give up, and
+* four fault-injection scenarios (:mod:`repro.faults`) that pair injected
+  failures with retry/backoff resilience: lossy links dropping RPCs, a
+  regional partition with a scheduled heal, a crash storm leaving dirty
+  provider records behind, and a slow-node tail eating walk budgets.
 
 Every stress scenario derives its connection-manager watermarks through the
 same :func:`repro.experiments.periods.scale_watermarks` helper the paper
@@ -48,6 +52,14 @@ from repro.adversary.config import (
     SybilFloodConfig,
 )
 from repro.experiments.periods import PERIODS, scale_watermarks
+from repro.faults.config import (
+    CrashConfig,
+    FaultConfig,
+    LinkFaultConfig,
+    PartitionConfig,
+    SlowNodeConfig,
+)
+from repro.faults.retry import RetryPolicy
 from repro.ipfs.config import IpfsConfig
 from repro.kademlia.dht import DHTMode
 from repro.netmodel.config import (
@@ -631,6 +643,231 @@ def _register_netmodel_scenarios() -> None:
     )
 
 
+# -- fault-injection scenarios ------------------------------------------------------
+
+#: lossy-links: every RPC rolls against these on the wire
+LOSSY_LINK_LOSS = 0.25
+LOSSY_LINK_DUPLICATE = 0.02
+#: partition-heal: window placement and minority size, fractions of the window
+PARTITION_START_FRACTION = 0.35
+PARTITION_DURATION_FRACTION = 0.25
+PARTITION_SHARE = 0.4
+PARTITION_RECOVERY_FRACTION = 0.02
+#: crash-storm: renewal/restart means as fractions of the window
+CRASH_MTBF_FRACTION = 0.25
+CRASH_RESTART_FRACTION = 0.05
+CRASH_SHARE = 0.8
+#: slow-node-tail: the degraded share and its RTT multiplier range
+SLOW_TAIL_SHARE = 0.18
+SLOW_TAIL_MIN_FACTOR = 4.0
+SLOW_TAIL_MAX_FACTOR = 15.0
+SLOW_TAIL_LOOKUP_TIMEOUT = 15.0
+
+#: the catalog's resilience policy: 3 attempts, 0.25 s base, x2 capped at 8 s
+FAULT_RETRY = RetryPolicy()
+
+
+def _faulted_population(
+    n_peers: int, seed: int, faults: FaultConfig
+) -> PopulationConfig:
+    return replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed), faults=faults
+    )
+
+
+def lossy_links_config(
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    loss_rate: Optional[float] = None,
+    retry: bool = True,
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    loss = LOSSY_LINK_LOSS if loss_rate is None else loss_rate
+    faults = FaultConfig(
+        links=LinkFaultConfig(loss_rate=loss, duplicate_rate=LOSSY_LINK_DUPLICATE),
+        retry=FAULT_RETRY if retry else None,
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=_faulted_population(n_peers, seed, faults),
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        seed=seed,
+    )
+
+
+def partition_heal_config(
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    partition_share: Optional[float] = None,
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    share = PARTITION_SHARE if partition_share is None else partition_share
+    faults = FaultConfig(
+        partition=PartitionConfig(
+            start=duration * PARTITION_START_FRACTION,
+            duration=duration * PARTITION_DURATION_FRACTION,
+            share=share,
+            recovery_spread=max(duration * PARTITION_RECOVERY_FRACTION, 60.0),
+        ),
+        retry=FAULT_RETRY,
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=_faulted_population(n_peers, seed, faults),
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        seed=seed,
+    )
+
+
+def crash_storm_config(
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    crash_share: Optional[float] = None,
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    share = CRASH_SHARE if crash_share is None else crash_share
+    faults = FaultConfig(
+        crash=CrashConfig(
+            mtbf=duration * CRASH_MTBF_FRACTION,
+            restart_mean=duration * CRASH_RESTART_FRACTION,
+            share=share,
+        ),
+        retry=FAULT_RETRY,
+        republish_on_recovery=True,
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=_faulted_population(n_peers, seed, faults),
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        seed=seed,
+    )
+
+
+def slow_node_tail_config(
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    slow_share: Optional[float] = None,
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    share = SLOW_TAIL_SHARE if slow_share is None else slow_share
+    faults = FaultConfig(
+        slow=SlowNodeConfig(
+            share=share,
+            min_factor=SLOW_TAIL_MIN_FACTOR,
+            max_factor=SLOW_TAIL_MAX_FACTOR,
+        ),
+    )
+    # Slow nodes only bite when walks carry a time budget, so this scenario
+    # pairs the fault with the latency model and a bounded lookup clock.
+    netmodel = NetModelConfig(
+        regions=RegionModelConfig(),
+        lookup_timeout=SLOW_TAIL_LOOKUP_TIMEOUT,
+    )
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        netmodel=netmodel,
+        faults=faults,
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=_content_workload(duration),
+        seed=seed,
+    )
+
+
+def _register_fault_scenarios() -> None:
+    register(
+        ScenarioSpec(
+            name="lossy-links",
+            description=(
+                "Every RPC rolls against per-link loss (and occasional "
+                "duplication); capped-backoff retries claw success back"
+            ),
+            builder=lossy_links_config,
+            tags=("faults", "loss"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "loss_rate": LOSSY_LINK_LOSS,
+                "duplicate_rate": LOSSY_LINK_DUPLICATE,
+                "retry": "3 attempts, 0.25 s base x2, cap 8 s",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="partition-heal",
+            description=(
+                "A regional split severs a 40 % minority mid-window, then "
+                "heals with a bounded reconnect spread (time-to-recover)"
+            ),
+            builder=partition_heal_config,
+            tags=("faults", "partition"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "share": PARTITION_SHARE,
+                "window": (
+                    f"{PARTITION_START_FRACTION:g}–"
+                    f"{PARTITION_START_FRACTION + PARTITION_DURATION_FRACTION:g} "
+                    "x duration"
+                ),
+                "recovery_spread": f"{PARTITION_RECOVERY_FRACTION:g} x duration (≥ 60 s)",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="crash-storm",
+            description=(
+                "Abrupt crash/restart cycles leave dirty provider records "
+                "behind; recovered providers republish their items"
+            ),
+            builder=crash_storm_config,
+            tags=("faults", "crash"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "share": CRASH_SHARE,
+                "mtbf": f"{CRASH_MTBF_FRACTION:g} x duration",
+                "restart": f"{CRASH_RESTART_FRACTION:g} x duration",
+                "republish_on_recovery": True,
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="slow-node-tail",
+            description=(
+                "A slow tail answers with 4–15x RTT spikes against "
+                "time-bounded walks: budgets drain without any packet loss"
+            ),
+            builder=slow_node_tail_config,
+            tags=("faults", "slow"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "share": SLOW_TAIL_SHARE,
+                "factor": f"{SLOW_TAIL_MIN_FACTOR:g}–{SLOW_TAIL_MAX_FACTOR:g}x",
+                "lookup_timeout": f"{SLOW_TAIL_LOOKUP_TIMEOUT:g} s",
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+
+
 # -- adversarial scenarios ----------------------------------------------------------
 
 #: sybils as a share of the honest population (identities are cheap)
@@ -959,3 +1196,4 @@ _register_stress_scenarios()
 _register_content_scenarios()
 _register_adversary_scenarios()
 _register_netmodel_scenarios()
+_register_fault_scenarios()

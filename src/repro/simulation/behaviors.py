@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Set
 
 from repro.kademlia.dht import iterative_find_providers, iterative_provide
 from repro.libp2p.agent import parse_goipfs_agent
@@ -164,6 +164,12 @@ class ContentBehaviors:
         self.stats = ContentRoutingStats()
         self._duration = 0.0
         self._sweep_task: Optional[PeriodicTask] = None
+        #: items each publisher has provided, kept only under fault injection
+        #: so crash recovery knows what to republish (peer_index -> items)
+        self._published: Dict[int, Set[int]] = {}
+        if network.faults is not None:
+            # Republish-on-recovery needs a way back into the workload.
+            network.faults.content = self
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -230,33 +236,55 @@ class ContentBehaviors:
     def _do_provide(self, peer: SimPeer, item: int, republish: bool) -> None:
         config = self.config
         network = self.network
+        faults = network.faults
         key = self.catalog.key(item)
         clock = network.netmodel_clock(peer)
         if clock is None:
+            if faults is None:
+                query = network.dht_query
+                add = lambda remote, k, p: network.add_provider(  # noqa: E731
+                    remote, k, p, config.provider_ttl
+                )
+                retry = None
+            else:
+                # Fault-aware wrappers name the source peer so partitions and
+                # link loss apply to this walk's RPCs.
+                query = lambda remote, target, count: network.dht_query(  # noqa: E731
+                    remote, target, count, src=peer
+                )
+                add = lambda remote, k, p: network.add_provider(  # noqa: E731
+                    remote, k, p, config.provider_ttl, src=peer
+                )
+                retry = faults.retry_state()
             result = iterative_provide(
                 key,
-                network.dht_query,
-                lambda remote, k, p: network.add_provider(remote, k, p, config.provider_ttl),
+                query,
+                add,
                 peer.current_pid,
                 self._seeds(peer, key),
                 replication=config.replication,
                 max_queries=config.max_queries,
+                retry=retry,
             )
             latency = self._lookup_latency(result.hops)
         else:
             # Under a netmodel the walk accrues real simulated time (RTTs and
             # failed-dial timeouts) and gives up once the budget is spent.
+            retry = None if faults is None else faults.retry_state(clock)
             result = iterative_provide(
                 key,
-                network.timed_query_fn(clock),
-                network.timed_add_provider_fn(clock, config.provider_ttl),
+                network.timed_query_fn(clock, src=peer),
+                network.timed_add_provider_fn(clock, config.provider_ttl, src=peer),
                 peer.current_pid,
                 self._seeds(peer, key),
                 replication=config.replication,
                 max_queries=config.max_queries,
                 give_up=clock.expired,
+                retry=retry,
             )
             latency = clock.finish()
+        if faults is not None:
+            self._published.setdefault(peer.profile.peer_index, set()).add(item)
         peer.ensure_bitswap().add_block(self.catalog.cid(item), self.catalog.block(item))
         stats = self.stats
         if republish:
@@ -279,6 +307,23 @@ class ContentBehaviors:
         if peer.online:
             self._do_provide(peer, item, republish=True)
 
+    def on_peer_recovered(self, peer: SimPeer) -> None:
+        """Republish a crashed publisher's items shortly after its restart.
+
+        Called by the fault runtime when ``republish_on_recovery`` is set.
+        Delays come from the fault stream so the honest workload RNG is
+        untouched.
+        """
+        items = self._published.get(peer.profile.peer_index)
+        if not items:
+            return
+        faults = self.network.faults
+        for item in sorted(items):
+            delay = faults.rng.uniform(1.0, 60.0)
+            if self.engine.now + delay <= self._duration:
+                faults.stats.recovery_republishes += 1
+                self.engine.schedule(delay, self._republish, peer, item)
+
     # -- retrieval ------------------------------------------------------------------
 
     def _retrieve(self, peer: SimPeer) -> None:
@@ -294,26 +339,38 @@ class ContentBehaviors:
             self.stats.retrievals_local += 1
             return
         key = self.catalog.key(item)
+        faults = network.faults
         clock = network.netmodel_clock(peer)
         if clock is None:
+            if faults is None:
+                get_providers = network.get_providers
+                retry = None
+            else:
+                get_providers = lambda remote, k: network.get_providers(  # noqa: E731
+                    remote, k, src=peer
+                )
+                retry = faults.retry_state()
             result = iterative_find_providers(
                 key,
-                network.get_providers,
+                get_providers,
                 self._seeds(peer, key),
                 self_id=peer.current_pid,
                 max_queries=config.max_queries,
                 max_providers=config.max_providers,
+                retry=retry,
             )
             latency = self._lookup_latency(result.hops)
         else:
+            retry = None if faults is None else faults.retry_state(clock)
             result = iterative_find_providers(
                 key,
-                network.timed_get_providers_fn(clock),
+                network.timed_get_providers_fn(clock, src=peer),
                 self._seeds(peer, key),
                 self_id=peer.current_pid,
                 max_queries=config.max_queries,
                 max_providers=config.max_providers,
                 give_up=clock.expired,
+                retry=retry,
             )
             latency = clock.finish()
         success = False
@@ -321,8 +378,14 @@ class ContentBehaviors:
             provider = network.peers_by_pid.get(pid)
             if provider is None or provider is peer:
                 continue
+            if faults is not None:
+                faults.stats.provider_checks += 1
             # A stale record: the provider left or rotated its PID since.
             if not provider.online or provider.current_pid != pid:
+                if faults is not None:
+                    # Crash leftovers and churn both strand records; the
+                    # resilience report tracks how often retrievers hit them.
+                    faults.stats.stale_provider_hits += 1
                 continue
             if provider.bitswap is None:
                 continue
@@ -331,7 +394,17 @@ class ContentBehaviors:
                 # the failed dial still costs the same timeout a walk pays.
                 latency += network.netmodel.config.reachability.dial_timeout
                 continue
-            block = bitswap.fetch_from(peer.current_pid, pid, provider.bitswap, cid)
+            if faults is None:
+                block = bitswap.fetch_from(peer.current_pid, pid, provider.bitswap, cid)
+            else:
+                block = bitswap.fetch_from(
+                    peer.current_pid,
+                    pid,
+                    provider.bitswap,
+                    cid,
+                    deliver=lambda p=provider: faults.bitswap_deliver(peer.flt, p.flt),
+                    retry=faults.retry_state(),
+                )
             if block is not None:
                 success = True
                 latency += self.rng.uniform(*config.transfer_latency)

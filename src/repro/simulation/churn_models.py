@@ -458,19 +458,44 @@ class TraceReplayChurnModel:
         intersession_column: str = "intersession",
         **kwargs,
     ) -> "TraceReplayChurnModel":
-        """Load a trace from a CSV with session/intersession columns (seconds)."""
+        """Load a trace from a CSV with session/intersession columns (seconds).
+
+        Malformed input raises one clear :class:`ValueError` naming the file,
+        and — for bad values — the offending row and column, instead of
+        leaking a ``KeyError``/``TypeError`` from the csv plumbing.
+        """
         sessions: List[float] = []
         intersessions: List[float] = []
         with open(path, newline="") as handle:
             reader = csv.DictReader(handle)
-            if reader.fieldnames is None or session_column not in reader.fieldnames:
+            header = reader.fieldnames
+            missing = [
+                column
+                for column in (session_column, intersession_column)
+                if header is None or column not in header
+            ]
+            if missing:
                 raise ValueError(
-                    f"trace CSV {path!r} needs columns "
-                    f"{session_column!r} and {intersession_column!r}"
+                    f"trace CSV {path!r} is missing column(s) "
+                    f"{', '.join(repr(c) for c in missing)}; "
+                    f"found {header if header is not None else 'an empty file'}"
                 )
-            for row in reader:
-                sessions.append(float(row[session_column]))
-                intersessions.append(float(row[intersession_column]))
+            # enumerate from 2: row 1 is the header line
+            for line, row in enumerate(reader, start=2):
+                for column, target in (
+                    (session_column, sessions),
+                    (intersession_column, intersessions),
+                ):
+                    raw = row.get(column)
+                    try:
+                        target.append(float(raw))
+                    except (TypeError, ValueError):
+                        raise ValueError(
+                            f"trace CSV {path!r} row {line}, column {column!r}: "
+                            f"expected a number, got {raw!r}"
+                        ) from None
+        if not sessions:
+            raise ValueError(f"trace CSV {path!r} holds no data rows")
         return cls(sessions, intersessions, **kwargs)
 
     def spawn(self, rng: random.Random) -> "TraceReplayChurnModel":

@@ -31,6 +31,14 @@ This module wires the synthetic population to the measurement identities
   :class:`~repro.netmodel.runtime.WalkClock` with a give-up budget.  Without
   a netmodel the hooks are dormant ``None`` checks, so idealised runs are
   byte-identical.
+* **fault injection** — with :mod:`repro.faults` attached, RPCs can be lost
+  or duplicated on the wire, peers crash abruptly (dirty state: records and
+  ledgers left behind, unlike graceful churn) and restart, a scheduled
+  partition cuts a minority share off from every vantage point until it
+  heals, and slow nodes burn walk budgets with RTT spikes.  Resilience rides
+  along: retry/backoff on walks and Bitswap, republish after crash recovery.
+  Without a fault config the hooks are dormant ``None`` checks, so clean
+  runs are byte-identical.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from repro.libp2p.multiaddr import Multiaddr, addresses_for_peer
 from repro.libp2p.peer_id import PeerId
 from repro.libp2p.protocols import AUTONAT, KAD_DHT
 from repro.core.measurement import PassiveMeasurement
+from repro.faults.runtime import FaultRuntime
 from repro.netmodel.runtime import NetModelRuntime, WalkClock
 from repro.simulation.churn_models import HOUR, MINUTE
 from repro.simulation.engine import Engine, PeriodicTask
@@ -112,6 +121,7 @@ class SimPeer:
         "bitswap",
         "attacker",
         "net",
+        "flt",
     )
 
     def __init__(self, profile: PeerProfile, rng: random.Random) -> None:
@@ -135,6 +145,8 @@ class SimPeer:
         self.attacker = None
         #: network conditions (repro.netmodel), None on the idealised fabric
         self.net = None
+        #: fault assignment (repro.faults), None on the fault-free fabric
+        self.flt = None
         self.last_online_at = float("-inf")
         self.addrs: List[Multiaddr] = addresses_for_peer(
             profile.public_ip, rng, behind_nat=profile.behind_nat
@@ -257,6 +269,18 @@ class SimulatedNetwork:
                     behind_nat=profile.behind_nat,
                     force_public=profile.is_hydra_head or profile.is_crawler,
                 )
+        #: fault-injection runtime; None keeps the fault-free fabric.  Same
+        #: discipline as the netmodel: assignments in peer_index order from
+        #: the fault stream, honest draws untouched either way.
+        self.faults: Optional[FaultRuntime] = None
+        faultcfg = population.config.faults
+        if faultcfg is not None and faultcfg.enabled:
+            self.faults = FaultRuntime(faultcfg, population.config.seed, engine)
+            for peer in self.peers:
+                profile = peer.profile
+                peer.flt = self.faults.assign_peer(
+                    exempt=profile.is_hydra_head or profile.is_crawler
+                )
         self._duration: Optional[float] = None
         self._tasks: List[PeriodicTask] = []
         self._started = False
@@ -304,6 +328,8 @@ class SimulatedNetwork:
             )
         for peer in self.peers:
             self._schedule_initial_session(peer, duration)
+        if self.faults is not None:
+            self.faults.install(self, duration)
 
     def _build_routing_tables(self) -> None:
         """Seed each simulated DHT-Server's routing table with other servers."""
@@ -375,14 +401,21 @@ class SimulatedNetwork:
         peer.sessions_started += 1
         peer.last_online_at = now
         self._online[peer.profile.peer_index] = peer
-        self.engine.schedule(uptime, self._session_end, peer)
+        # The session epoch guards against stale end events: after a crash +
+        # restart (repro.faults) the pre-crash session's end must not kill the
+        # new session.  Without faults the epoch check never fires.
+        self.engine.schedule(uptime, self._session_end, peer, peer.sessions_started)
         for identity in self.identities:
             delay = self._contact_delay(peer, identity)
             if delay is not None:
                 self.engine.schedule(delay, self._attempt_contact, peer, identity)
 
-    def _session_end(self, peer: SimPeer) -> None:
+    def _session_end(self, peer: SimPeer, epoch: Optional[int] = None) -> None:
         if not peer.online:
+            return
+        if epoch is not None and epoch != peer.sessions_started:
+            # A crash/restart cycle superseded the session this end event
+            # belonged to; the restarted session scheduled its own end.
             return
         now = self.engine.now
         peer.online = False
@@ -399,6 +432,45 @@ class SimulatedNetwork:
             return
         downtime = profile.session_model.next_downtime(self.rng, now)
         self.engine.schedule(downtime, self._session_start, peer)
+
+    # ----------------------------------------------------------------- faults ----
+
+    def crash_peer(self, peer: SimPeer) -> None:
+        """Abrupt peer death (repro.faults), distinct from graceful churn.
+
+        The peer vanishes mid-session with *dirty* state: provider records it
+        stored for others, its own records on remote servers, and Bitswap
+        ledgers are all left behind (stale-record fodder for retrievers).  No
+        next-session draw happens here — only the fault runtime's restart
+        event re-enters the session machinery via :meth:`_session_start`.
+        """
+        if not peer.online:
+            return
+        now = self.engine.now
+        peer.online = False
+        peer.last_online_at = now
+        self._online.pop(peer.profile.peer_index, None)
+        for label, conn in list(peer.connections.items()):
+            identity = self._identity_by_label(label)
+            if identity is not None and conn.is_open:
+                identity.node.close_connection(conn, CloseReason.REMOTE_LEFT, now)
+            peer.connections.pop(label, None)
+
+    def sever_connections(self, peer: SimPeer) -> int:
+        """Cut every open measurement connection of ``peer`` (partition onset).
+
+        The peer stays online on its own side of the split; returns how many
+        open connections were severed.
+        """
+        severed = 0
+        now = self.engine.now
+        for label, conn in list(peer.connections.items()):
+            identity = self._identity_by_label(label)
+            if identity is not None and conn.is_open:
+                identity.node.close_connection(conn, CloseReason.REMOTE_LEFT, now)
+                severed += 1
+            peer.connections.pop(label, None)
+        return severed
 
     # --------------------------------------------------------------- contacts ----
 
@@ -428,11 +500,21 @@ class SimulatedNetwork:
         now = self.engine.now
         if not peer.online:
             return
+        if self.faults is not None and self.faults.contact_blocked(peer.flt):
+            # The split cuts this peer off from every vantage point; try
+            # again just past the scheduled heal (spread by the fault RNG so
+            # the minority's reconnects do not stampede).
+            self.engine.schedule(
+                self.faults.contact_retry_delay(), self._attempt_contact, peer, identity
+            )
+            return
         if identity.label in peer.connections and peer.connections[identity.label].is_open:
             return
         conn = identity.node.handle_inbound_connection(peer.current_pid, peer.dial_addr(), now)
         peer.connections[identity.label] = conn
         self.peers_by_pid[peer.current_pid] = peer
+        if self.faults is not None:
+            self.faults.note_contact(peer.flt)
         if peer.agent is not None and self.rng.random() < self.config.identify_success:
             delay = self.rng.uniform(0.5, 5.0)
             if self.netmodel is not None:
@@ -549,9 +631,14 @@ class SimulatedNetwork:
                 # The measurement node cannot dial through the peer's NAT;
                 # the attempt is counted, no connection is recorded.
                 continue
+            if self.faults is not None and self.faults.dial_blocked(peer.flt):
+                # The peer sits on the unreachable side of a partition.
+                continue
             conn = identity.node.dial(peer.current_pid, peer.dial_addr(), now)
             peer.connections[identity.label] = conn
             self.peers_by_pid[peer.current_pid] = peer
+            if self.faults is not None:
+                self.faults.note_contact(peer.flt)
             if peer.agent is not None and self.rng.random() < self.config.identify_success:
                 delay = self.rng.uniform(0.5, 5.0)
                 if self.netmodel is not None:
@@ -573,19 +660,27 @@ class SimulatedNetwork:
 
     # ------------------------------------------------------------- DHT queries ----
 
-    def dht_query(self, remote: PeerId, target: int, count: int) -> Optional[List[PeerId]]:
+    def dht_query(
+        self, remote: PeerId, target: int, count: int, src: Optional[SimPeer] = None
+    ) -> Optional[List[PeerId]]:
         """FIND_NODE against a simulated peer (used by the crawler baseline).
 
         Peers carrying an attacker behaviour may poison, shadow, or drop the
         reply; honest peers answer from their routing table.  Under a
         netmodel, a NATed peer is undialable: the query fails exactly like a
         real crawler's dial does, which is what opens the
-        crawler-undercount-vs-passive gap.
+        crawler-undercount-vs-passive gap.  Under fault injection, ``src``
+        names the querying peer so partitions and link loss apply; ``None``
+        is a vantage point / crawler (majority side).
         """
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
         if self.netmodel is not None and not self.netmodel.dial(peer.net):
+            return None
+        if self.faults is not None and not self.faults.deliver(
+            src.flt if src is not None else None, peer.flt
+        ):
             return None
         return self._answer_find_node(peer, target, count)
 
@@ -622,13 +717,22 @@ class SimulatedNetwork:
     # ----------------------------------------------------------- content routing ----
 
     def add_provider(
-        self, remote: PeerId, key: int, provider: PeerId, ttl: float
+        self,
+        remote: PeerId,
+        key: int,
+        provider: PeerId,
+        ttl: float,
+        src: Optional[SimPeer] = None,
     ) -> Optional[bool]:
         """ADD_PROVIDER against a simulated peer (None: unreachable)."""
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
         if self.netmodel is not None and not self.netmodel.dial(peer.net):
+            return None
+        if self.faults is not None and not self.faults.deliver(
+            src.flt if src is not None else None, peer.flt
+        ):
             return None
         return self._answer_add_provider(peer, key, provider, ttl)
 
@@ -653,13 +757,17 @@ class SimulatedNetwork:
         return True
 
     def get_providers(
-        self, remote: PeerId, key: int, count: int = 20
+        self, remote: PeerId, key: int, count: int = 20, src: Optional[SimPeer] = None
     ) -> Optional[tuple]:
         """GET_PROVIDERS against a simulated peer: (providers, closer peers)."""
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
         if self.netmodel is not None and not self.netmodel.dial(peer.net):
+            return None
+        if self.faults is not None and not self.faults.deliver(
+            src.flt if src is not None else None, peer.flt
+        ):
             return None
         return self._answer_get_providers(peer, key, count)
 
@@ -690,49 +798,60 @@ class SimulatedNetwork:
             return None
         return self.netmodel.clock(peer.net)
 
-    def _timed_peer(self, clock: WalkClock, remote: PeerId) -> Optional[SimPeer]:
+    def _timed_peer(
+        self, clock: WalkClock, remote: PeerId, src: Optional[SimPeer] = None
+    ) -> Optional[SimPeer]:
         """Resolve a timed RPC's target and charge the wire time.
 
         One place for the queryable-peer precondition shared with the untimed
         RPCs plus the clock accounting: a dead/client target answers nothing
         (and costs nothing), a NATed one burns the dial timeout, a reachable
         one is charged a round trip and returned for the ``_answer_*`` path.
+        Under fault injection a slow responder additionally burns its RTT
+        spike, and a lost/partitioned exchange answers nothing after paying
+        the wire time (the caller waited for a reply that never came).
         """
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
         if not clock.dial(peer.net):
             return None
-        clock.charge(peer.net)
+        rtt = clock.charge(peer.net)
+        if self.faults is not None:
+            clock.elapsed += self.faults.slow_penalty(peer.flt, rtt)
+            if not self.faults.deliver(src.flt if src is not None else None, peer.flt):
+                return None
         return peer
 
-    def timed_query_fn(self, clock: WalkClock):
+    def timed_query_fn(self, clock: WalkClock, src: Optional[SimPeer] = None):
         """A FIND_NODE query function that accrues dial/RTT time on ``clock``."""
 
         def query(remote: PeerId, target: int, count: int) -> Optional[List[PeerId]]:
-            peer = self._timed_peer(clock, remote)
+            peer = self._timed_peer(clock, remote, src)
             if peer is None:
                 return None
             return self._answer_find_node(peer, target, count)
 
         return query
 
-    def timed_add_provider_fn(self, clock: WalkClock, ttl: float):
+    def timed_add_provider_fn(self, clock: WalkClock, ttl: float, src: Optional[SimPeer] = None):
         """An ADD_PROVIDER function that accrues dial/RTT time on ``clock``."""
 
         def add_provider(remote: PeerId, key: int, provider: PeerId) -> Optional[bool]:
-            peer = self._timed_peer(clock, remote)
+            peer = self._timed_peer(clock, remote, src)
             if peer is None:
                 return None
             return self._answer_add_provider(peer, key, provider, ttl)
 
         return add_provider
 
-    def timed_get_providers_fn(self, clock: WalkClock, count: int = 20):
+    def timed_get_providers_fn(
+        self, clock: WalkClock, count: int = 20, src: Optional[SimPeer] = None
+    ):
         """A GET_PROVIDERS function that accrues dial/RTT time on ``clock``."""
 
         def get_providers(remote: PeerId, key: int) -> Optional[tuple]:
-            peer = self._timed_peer(clock, remote)
+            peer = self._timed_peer(clock, remote, src)
             if peer is None:
                 return None
             return self._answer_get_providers(peer, key, count)

@@ -30,6 +30,7 @@ from repro.kademlia.dht import DHTMode
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (profiles are built lazily)
     from repro.adversary.config import AdversaryConfig
+    from repro.faults.config import FaultConfig
     from repro.netmodel.config import NetModelConfig
 from repro.libp2p.multiaddr import random_public_ipv4
 from repro.libp2p.protocols import (
@@ -201,6 +202,11 @@ class PopulationConfig:
     #: from any RNG, so every pre-existing fixed-seed golden stays
     #: byte-identical
     netmodel: Optional["NetModelConfig"] = None
+    #: fault-injection model (message loss/duplication, crash/restart,
+    #: partitions, slow nodes) plus its retry resilience; ``None``, the
+    #: default, injects nothing and draws nothing from any RNG, so every
+    #: pre-existing fixed-seed golden stays byte-identical
+    faults: Optional["FaultConfig"] = None
 
     def __post_init__(self) -> None:
         if self.n_peers <= 0:

@@ -17,6 +17,7 @@ from repro.adversary.behaviors import AdversaryBehaviors, AttackStats
 from repro.core.records import MeasurementDataset
 from repro.crawler.crawler import Crawler
 from repro.crawler.monitor import DEFAULT_CRAWL_INTERVAL, CrawlMonitor
+from repro.faults.runtime import FaultStats
 from repro.hydra.hydra import HydraNode
 from repro.ipfs.config import IpfsConfig
 from repro.ipfs.node import IpfsNode
@@ -101,6 +102,8 @@ class ScenarioResult:
     adversary: Optional[AttackStats] = None
     #: network-conditions ground truth (None on the idealised fabric)
     netmodel: Optional[NetModelStats] = None
+    #: fault-injection ground truth (None on the fault-free fabric)
+    faults: Optional[FaultStats] = None
     #: base58 PID per measurement identity label (analysis needs the vantage
     #: point's keyspace position, e.g. for neighbourhood-density estimates)
     identity_keys: Dict[str, str] = field(default_factory=dict)
@@ -249,6 +252,9 @@ class Scenario:
             adversary=attack_stats,
             netmodel=(
                 self.network.netmodel.stats if self.network.netmodel is not None else None
+            ),
+            faults=(
+                self.network.faults.stats if self.network.faults is not None else None
             ),
             identity_keys={
                 identity.label: str(identity.peer_id) for identity in self.identities

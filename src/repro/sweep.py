@@ -10,6 +10,13 @@ CLI exits nonzero.  All artifacts are deterministic — no timestamps, no
 wall-clock fields — so two sweeps with the same flags produce byte-identical
 files.
 
+Sweeps checkpoint as they go: a manifest of content-addressed cells
+(``sweep_manifest.json``) is written before any simulation and every cell
+summary lands on disk the moment it completes.  ``--resume`` continues an
+interrupted sweep — completed cells whose key still matches are loaded from
+disk instead of re-simulated, and the aggregate artifacts come out
+byte-identical to an uninterrupted run.
+
 Examples::
 
     python -m repro.sweep --list
@@ -22,6 +29,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import sys
@@ -30,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.attack_report import attack_metrics
 from repro.analysis.content_report import content_metrics
 from repro.analysis.reachability_report import reachability_metrics
+from repro.analysis.resilience_report import resilience_metrics
 from repro.analysis.sweep_report import (
     CELL_SCHEMA,
     aggregate_payload,
@@ -135,6 +144,7 @@ def summarize_result(name: str, n_peers: int, duration_days: float, seed: int, r
         "content": content_metrics(result.content),
         "adversary": attack_metrics(result),
         "netmodel": reachability_metrics(result),
+        "resilience": resilience_metrics(result),
     }
 
 
@@ -166,6 +176,89 @@ def cell_filename(summary: Dict) -> str:
     return f"{summary['scenario']}__n{summary['n_peers']}__s{summary['seed']}.json"
 
 
+#: per-sweep manifest: the planned cells with their content-address keys
+MANIFEST_NAME = "sweep_manifest.json"
+MANIFEST_SCHEMA = "repro-sweep-manifest/1"
+
+
+def cell_key(name: str, n_peers: int, duration_days: float, seed: int) -> str:
+    """Content address of one sweep cell.
+
+    A hash over everything that determines the cell's result: the resolved
+    scenario coordinates plus the cell schema version, so cells written by an
+    older summary format are never reused by ``--resume``.
+    """
+    payload = {
+        "schema": CELL_SCHEMA,
+        "scenario": name,
+        "n_peers": n_peers,
+        "duration_days": duration_days,
+        "seed": seed,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def _resolve_cell(
+    name: str, n_peers: Optional[int], duration_days: Optional[float], seed: int
+) -> Dict:
+    """One planned cell with its defaults resolved, filename, and key."""
+    spec = scenario(name)
+    peers = n_peers if n_peers is not None else spec.default_peers
+    days = duration_days if duration_days is not None else spec.default_duration_days
+    return {
+        "scenario": spec.name,
+        "n_peers": peers,
+        "duration_days": days,
+        "seed": seed,
+        "file": f"{spec.name}__n{peers}__s{seed}.json",
+        "key": cell_key(spec.name, peers, days, seed),
+    }
+
+
+def _manifest_payload(planned: Sequence[Dict]) -> Dict:
+    return {"schema": MANIFEST_SCHEMA, "cells": list(planned)}
+
+
+def _load_completed_cells(out_dir: str, planned: Sequence[Dict]) -> Dict[int, Dict]:
+    """Map planned-cell index -> previously written summary, for ``--resume``.
+
+    A cell is reused only when the old manifest recorded the same content
+    address for its file *and* the file parses as a non-failure summary;
+    anything else (missing file, key mismatch from changed flags or schema,
+    truncated JSON from the kill) is simply re-run.
+    """
+    manifest_path = os.path.join(out_dir, MANIFEST_NAME)
+    old_keys: Dict[str, str] = {}
+    if os.path.isfile(manifest_path):
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+            old_keys = {
+                cell["file"]: cell["key"] for cell in manifest.get("cells", [])
+            }
+        except (ValueError, KeyError, TypeError):
+            old_keys = {}
+    completed: Dict[int, Dict] = {}
+    for index, cell in enumerate(planned):
+        if old_keys.get(cell["file"]) != cell["key"]:
+            continue
+        path = os.path.join(out_dir, cell["file"])
+        if not os.path.isfile(path):
+            continue
+        try:
+            with open(path) as handle:
+                summary = json.load(handle)
+        except ValueError:
+            continue
+        if not isinstance(summary, dict) or "error" in summary:
+            continue
+        completed[index] = summary
+    return completed
+
+
 def _write_json(path: str, payload: Dict) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
@@ -180,41 +273,78 @@ def run_sweep(
     out_dir: str,
     workers: Optional[int] = None,
     force: bool = False,
+    resume: bool = False,
 ) -> Tuple[List[Dict], List[Dict]]:
     """Run the cartesian sweep and write all artifacts into ``out_dir``.
 
     Returns ``(summaries, failures)``.  Cell order (and therefore aggregate
     order) is scenarios × populations × seeds as given — deterministic for a
     given flag set even when the cells themselves run in parallel workers.
-    A non-empty ``out_dir`` is refused unless ``force`` is set, and ``force``
-    deletes the previous run's artifacts (``*.json``, ``sweep_table.txt``)
-    up front — so a re-run can never silently mix stale and fresh cell JSON.
+    A non-empty ``out_dir`` is refused unless ``force`` or ``resume`` is set:
+    ``force`` deletes the previous run's artifacts (``*.json``,
+    ``sweep_table.txt``) up front, so a re-run can never silently mix stale
+    and fresh cell JSON; ``resume`` instead reuses every completed cell whose
+    content address matches the manifest of the interrupted run and only
+    simulates the rest.  Cell summaries are written to disk as they complete
+    (checkpointing), and the aggregate artifacts are rebuilt from the full
+    reused + fresh set, so an interrupted sweep resumed with the same flags
+    produces byte-identical artifacts to an uninterrupted one.
     """
-    if os.path.isdir(out_dir) and os.listdir(out_dir):
-        if not force:
-            raise SweepOutputError(
-                f"output directory {out_dir!r} is not empty; pass --force to "
-                "overwrite (stale cells from a previous run would otherwise "
-                "survive alongside the new ones)"
-            )
-        for name in os.listdir(out_dir):
-            if name.endswith(".json") or name == "sweep_table.txt":
-                os.remove(os.path.join(out_dir, name))
     for name in scenario_names:
         scenario(name)  # fail fast on unknown names, before any simulation
-    cells = [
-        (name, peers, duration_days, seed)
+    planned = [
+        _resolve_cell(name, peers, duration_days, seed)
         for name in scenario_names
         for peers in peers_list
         for seed in seeds
     ]
-    outcomes: List[Dict] = run_cells(summarize_cell_safe, cells, workers)
-    summaries = [o for o in outcomes if "error" not in o]
-    failures = [o for o in outcomes if "error" in o]
-
+    completed: Dict[int, Dict] = {}
+    if os.path.isdir(out_dir) and os.listdir(out_dir):
+        if resume:
+            completed = _load_completed_cells(out_dir, planned)
+        elif not force:
+            raise SweepOutputError(
+                f"output directory {out_dir!r} is not empty; pass --force to "
+                "overwrite (stale cells from a previous run would otherwise "
+                "survive alongside the new ones) or --resume to continue an "
+                "interrupted sweep"
+            )
+        else:
+            for name in os.listdir(out_dir):
+                if name.endswith(".json") or name == "sweep_table.txt":
+                    os.remove(os.path.join(out_dir, name))
     os.makedirs(out_dir, exist_ok=True)
-    for summary in summaries:
-        _write_json(os.path.join(out_dir, cell_filename(summary)), summary)
+    # The manifest goes down before any cell runs: a killed sweep leaves
+    # exactly the state --resume needs (planned cells + their keys).
+    _write_json(os.path.join(out_dir, MANIFEST_NAME), _manifest_payload(planned))
+
+    todo = [index for index in range(len(planned)) if index not in completed]
+    cells = [
+        (
+            planned[index]["scenario"],
+            planned[index]["n_peers"],
+            planned[index]["duration_days"],
+            planned[index]["seed"],
+        )
+        for index in todo
+    ]
+
+    def _checkpoint(position: int, outcome: Dict) -> None:
+        if "error" in outcome:
+            return
+        _write_json(os.path.join(out_dir, cell_filename(outcome)), outcome)
+
+    outcomes: List[Dict] = run_cells(
+        summarize_cell_safe, cells, workers, on_result=_checkpoint
+    )
+    merged: List[Optional[Dict]] = [None] * len(planned)
+    for index, summary in completed.items():
+        merged[index] = summary
+    for index, outcome in zip(todo, outcomes):
+        merged[index] = outcome
+    summaries = [o for o in merged if o is not None and "error" not in o]
+    failures = [o for o in merged if o is not None and "error" in o]
+
     _write_json(
         os.path.join(out_dir, "sweep_summary.json"),
         aggregate_payload(summaries, failures),
@@ -278,6 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="overwrite a non-empty --out directory (refused otherwise)",
     )
     parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "continue an interrupted sweep: reuse completed cells whose "
+            "content-address key matches the manifest, simulate only the rest"
+        ),
+    )
+    parser.add_argument(
         "--workers", type=int, default=None,
         help="worker processes (default: REPRO_BENCH_WORKERS or 1)",
     )
@@ -319,11 +456,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if not names or not seeds:
         parser.error("need at least one scenario and one seed")
+    if args.force and args.resume:
+        parser.error("--force and --resume are mutually exclusive")
 
     try:
         summaries, failures = run_sweep(
             names, seeds, peers_list, args.duration, args.out,
-            workers=args.workers, force=args.force,
+            workers=args.workers, force=args.force, resume=args.resume,
         )
     except SweepOutputError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -59,6 +59,13 @@ NETMODEL_NAMES = [
     "timeout-bound-lookups",
 ]
 
+FAULT_NAMES = [
+    "lossy-links",
+    "partition-heal",
+    "crash-storm",
+    "slow-node-tail",
+]
+
 
 class TestRegistry:
     def test_all_paper_periods_registered(self):
@@ -76,6 +83,9 @@ class TestRegistry:
 
     def test_all_netmodel_scenarios_registered(self):
         assert scenario_names("netmodel") == NETMODEL_NAMES
+
+    def test_all_fault_scenarios_registered(self):
+        assert scenario_names("faults") == FAULT_NAMES
 
     def test_lookup_is_case_insensitive(self):
         assert scenario("P1") is scenario("p1")
@@ -195,6 +205,10 @@ class TestGoldenEventCounts:
         "high-latency-retrieval": {"events": 516, "connections": 26},
         "relay-assisted-content": {"events": 516, "connections": 26},
         "timeout-bound-lookups": {"events": 488, "connections": 15},
+        "lossy-links": {"events": 527, "connections": 36},
+        "partition-heal": {"events": 534, "connections": 42},
+        "crash-storm": {"events": 835, "connections": 47},
+        "slow-node-tail": {"events": 516, "connections": 26},
     }
 
     def test_golden_covers_the_whole_catalog(self):

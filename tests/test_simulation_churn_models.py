@@ -334,7 +334,38 @@ class TestTraceReplayChurnModel:
     def test_from_csv_rejects_missing_columns(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("uptime,downtime\n1,2\n")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="'session'.*'intersession'"):
+            TraceReplayChurnModel.from_csv(str(path))
+
+    def test_from_csv_names_one_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("session,downtime\n1,2\n")
+        with pytest.raises(ValueError, match="missing column.*'intersession'") as excinfo:
+            TraceReplayChurnModel.from_csv(str(path))
+        assert "'session'" not in str(excinfo.value).split("found")[0]
+
+    def test_from_csv_rejects_an_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty file"):
+            TraceReplayChurnModel.from_csv(str(path))
+
+    def test_from_csv_rejects_a_header_only_file(self, tmp_path):
+        path = tmp_path / "headers.csv"
+        path.write_text("session,intersession\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            TraceReplayChurnModel.from_csv(str(path))
+
+    def test_from_csv_names_row_and_column_of_bad_values(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("session,intersession\n120,600\nfast,7200\n")
+        with pytest.raises(ValueError, match=r"row 3, column 'session'.*'fast'"):
+            TraceReplayChurnModel.from_csv(str(path))
+
+    def test_from_csv_names_row_of_short_rows(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("session,intersession\n120,600\n3600\n")
+        with pytest.raises(ValueError, match=r"row 3, column 'intersession'.*None"):
             TraceReplayChurnModel.from_csv(str(path))
 
     def test_rejects_non_positive_intervals(self):

@@ -50,12 +50,13 @@ class TestMicroSweep:
             "flash-crowd__n50__s8.json",
             "p1__n50__s7.json",
             "p1__n50__s8.json",
+            "sweep_manifest.json",
             "sweep_summary.json",
         ]
 
     def test_cell_summaries_roundtrip(self, micro_sweep):
         for name in os.listdir(micro_sweep):
-            if not name.endswith(".json") or name == "sweep_summary.json":
+            if not name.endswith(".json") or name.startswith("sweep_"):
                 continue
             with open(micro_sweep / name) as handle:
                 summary = json.load(handle)
@@ -260,6 +261,133 @@ class TestOutputHygiene:
         monkeypatch.setattr(sweep_mod, "run_cells", boom)
         with pytest.raises(SweepOutputError, match="not empty"):
             run_sweep(["p1"], [7], [30], 0.01, str(out))
+
+
+class TestCheckpointResume:
+    """Satellite: interrupted sweeps resume without recomputing finished cells."""
+
+    NAMES = ["p1", "flash-crowd"]
+    SEEDS = [7, 8]
+    PEERS = [40]
+    DAYS = 0.01
+    FILES = [
+        "p1__n40__s7.json",
+        "p1__n40__s8.json",
+        "flash-crowd__n40__s7.json",
+        "flash-crowd__n40__s8.json",
+    ]
+
+    def _run(self, out, **kwargs):
+        from repro.sweep import run_sweep
+
+        return run_sweep(self.NAMES, self.SEEDS, self.PEERS, self.DAYS, str(out), **kwargs)
+
+    def test_manifest_written_before_any_cell(self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+        from repro.sweep import MANIFEST_SCHEMA, cell_key
+
+        def boom(*args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(sweep_mod, "summarize_cell", boom)
+        out = tmp_path / "out"
+        with pytest.raises(KeyboardInterrupt):
+            self._run(out)
+        with open(out / "sweep_manifest.json") as handle:
+            manifest = json.load(handle)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert [c["file"] for c in manifest["cells"]] == self.FILES
+        for cell in manifest["cells"]:
+            assert cell["key"] == cell_key(
+                cell["scenario"], cell["n_peers"], cell["duration_days"], cell["seed"]
+            )
+
+    def test_killed_sweep_resumes_to_identical_artifacts(self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+
+        reference = tmp_path / "reference"
+        self._run(reference)
+
+        # Kill the sweep inside its third cell: the first two are already
+        # checkpointed on disk, nothing after them exists yet.
+        out = tmp_path / "out"
+        real = sweep_mod.summarize_cell
+        calls = []
+
+        def dies_on_third(name, n_peers, duration_days, seed):
+            calls.append((name, seed))
+            if len(calls) == 3:
+                raise KeyboardInterrupt
+            return real(name, n_peers, duration_days, seed)
+
+        monkeypatch.setattr(sweep_mod, "summarize_cell", dies_on_third)
+        with pytest.raises(KeyboardInterrupt):
+            self._run(out)
+        assert (out / "p1__n40__s7.json").exists()
+        assert (out / "p1__n40__s8.json").exists()
+        assert not (out / "flash-crowd__n40__s7.json").exists()
+        assert not (out / "sweep_summary.json").exists()
+
+        # Resume simulates only the two unfinished cells and produces the
+        # same artifacts, byte for byte, as the uninterrupted run.
+        resumed = []
+
+        def counting(name, n_peers, duration_days, seed):
+            resumed.append((name, seed))
+            return real(name, n_peers, duration_days, seed)
+
+        monkeypatch.setattr(sweep_mod, "summarize_cell", counting)
+        self._run(out, resume=True)
+        assert resumed == [("flash-crowd", 7), ("flash-crowd", 8)]
+        for name in sorted(os.listdir(reference)):
+            first = (reference / name).read_bytes()
+            second = (out / name).read_bytes()
+            assert first == second, f"{name} differs after resume"
+
+    def test_resume_of_a_finished_sweep_recomputes_nothing(self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+
+        out = tmp_path / "out"
+        self._run(out)
+        before = {name: (out / name).read_bytes() for name in os.listdir(out)}
+
+        def boom(*args):  # pragma: no cover - must not be reached
+            raise AssertionError("a finished cell was re-simulated")
+
+        monkeypatch.setattr(sweep_mod, "summarize_cell", boom)
+        self._run(out, resume=True)
+        after = {name: (out / name).read_bytes() for name in os.listdir(out)}
+        assert after == before
+
+    def test_resume_ignores_cells_written_under_other_flags(self, tmp_path, monkeypatch):
+        import repro.sweep as sweep_mod
+
+        out = tmp_path / "out"
+        self._run(out)
+
+        # A different duration keeps the filenames but changes every content
+        # address, so --resume trusts nothing and re-runs all four cells.
+        real = sweep_mod.summarize_cell
+        rerun = []
+
+        def counting(name, n_peers, duration_days, seed):
+            rerun.append((name, seed))
+            return real(name, n_peers, duration_days, seed)
+
+        monkeypatch.setattr(sweep_mod, "summarize_cell", counting)
+        from repro.sweep import run_sweep
+
+        run_sweep(self.NAMES, self.SEEDS, self.PEERS, 0.02, str(out), resume=True)
+        assert len(rerun) == 4
+
+    def test_force_and_resume_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "--scenarios", "p1", "--seeds", "7", "--peers", "30",
+                "--duration", "0.01d", "--out", str(tmp_path / "out"),
+                "--force", "--resume",
+            ])
+        assert excinfo.value.code == 2
 
 
 class TestFailingCells:
