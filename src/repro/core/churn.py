@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.stats import median
-from repro.core.records import ConnectionRecord, MeasurementDataset
+from repro.core.records import MeasurementDataset
 
 
 @dataclass(frozen=True)
@@ -67,12 +67,7 @@ class PeriodChurnReport:
         return [self.all_stats.as_row(), self.peer_stats.as_row()]
 
 
-def _durations(connections: List[ConnectionRecord]) -> List[float]:
-    return [c.duration for c in connections]
-
-
-def _direction_stats(connections: List[ConnectionRecord], direction: str) -> DirectionStats:
-    durations = [c.duration for c in connections if c.direction == direction]
+def _direction_stats(durations: List[float], direction: str) -> DirectionStats:
     if not durations:
         return DirectionStats(direction, 0, 0.0, 0.0, 0.0)
     return DirectionStats(
@@ -91,9 +86,27 @@ def connection_statistics(dataset: MeasurementDataset) -> PeriodChurnReport:
     solely from the peerstore are ignored), matching the paper's methodology.
     Connections still open at the end of the measurement were already closed at
     ``dataset.ended_at`` by the recorder, so they are included.
+
+    Single pass over the connection list: durations, the per-direction
+    buckets, and the close-reason histogram are collected together, so a
+    sharded million-connection dataset is walked once instead of four times.
+    The per-bucket lists preserve record order, which keeps every float
+    reduction identical to the multi-pass version.
     """
     connections = dataset.connections
-    durations = _durations(connections)
+    durations: List[float] = []
+    inbound_durations: List[float] = []
+    outbound_durations: List[float] = []
+    close_reasons: Dict[str, int] = {}
+    for conn in connections:
+        duration = conn.duration
+        durations.append(duration)
+        if conn.direction == "inbound":
+            inbound_durations.append(duration)
+        elif conn.direction == "outbound":
+            outbound_durations.append(duration)
+        reason = conn.close_reason or "unknown"
+        close_reasons[reason] = close_reasons.get(reason, 0) + 1
     if durations:
         all_stats = ConnectionStats(
             kind="all",
@@ -118,17 +131,12 @@ def connection_statistics(dataset: MeasurementDataset) -> PeriodChurnReport:
     else:
         peer_stats = ConnectionStats(kind="peer", count=0, average=0.0, median_value=0.0)
 
-    close_reasons: Dict[str, int] = {}
-    for conn in connections:
-        key = conn.close_reason or "unknown"
-        close_reasons[key] = close_reasons.get(key, 0) + 1
-
     return PeriodChurnReport(
         label=dataset.label,
         all_stats=all_stats,
         peer_stats=peer_stats,
-        inbound=_direction_stats(connections, "inbound"),
-        outbound=_direction_stats(connections, "outbound"),
+        inbound=_direction_stats(inbound_durations, "inbound"),
+        outbound=_direction_stats(outbound_durations, "outbound"),
         close_reasons=close_reasons,
     )
 

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.periods import period
 from repro.perf import PeriodPerf, measure_period
-from repro.simulation.scenario import Scenario, ScenarioResult
+from repro.simulation.scenario import ScenarioResult, run_scenario
 
 #: environment knob: number of worker processes for multi-period runs
 BENCH_WORKERS_ENV = "REPRO_BENCH_WORKERS"
@@ -43,7 +43,7 @@ def run_period(
     config = spec.scenario_config(
         n_peers=n_peers, seed=seed, duration_days=duration_days, run_crawler=run_crawler
     )
-    return Scenario(config).run()
+    return run_scenario(config)
 
 
 def run_period_cached(

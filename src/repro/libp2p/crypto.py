@@ -20,6 +20,12 @@ ED25519 = "ed25519"
 
 _KEY_SIZES = {RSA_2048: 256, ED25519: 32}
 
+# One getrandbits(8) call per key byte, exactly like the original generator
+# expression — bytes(map(...)) over a pre-built width tuple consumes the
+# identical RNG stream while skipping the per-byte generator frame, and key
+# generation is the single hottest leaf of large-population setup.
+_BYTE_WIDTHS = {size: (8,) * size for size in _KEY_SIZES.values()}
+
 
 @dataclass(frozen=True)
 class KeyPair:
@@ -54,7 +60,8 @@ def generate_keypair(
     if key_type not in _KEY_SIZES:
         raise ValueError(f"unsupported key type: {key_type!r}")
     rng = rng or random
-    size = _KEY_SIZES[key_type]
-    public = bytes(rng.getrandbits(8) for _ in range(size))
-    private = bytes(rng.getrandbits(8) for _ in range(size))
+    widths = _BYTE_WIDTHS[_KEY_SIZES[key_type]]
+    getrandbits = rng.getrandbits
+    public = bytes(map(getrandbits, widths))
+    private = bytes(map(getrandbits, widths))
     return KeyPair(key_type=key_type, public_key=public, private_key=private)

@@ -131,12 +131,21 @@ class Multiaddr:
         return Multiaddr(components=self.components + (("p2p", peer_id),))
 
     def __str__(self) -> str:
+        # Memoised: connection records render the same few addresses over and
+        # over during dataset finalisation.  The dataclass is frozen, so the
+        # rendering never changes; the cache lives outside the declared fields
+        # and therefore affects neither equality nor hashing.
+        cached = self.__dict__.get("_str")
+        if cached is not None:
+            return cached
         parts: List[str] = []
         for proto, value in self.components:
             parts.append(proto)
             if value is not None:
                 parts.append(value)
-        return "/" + "/".join(parts)
+        rendered = "/" + "/".join(parts)
+        object.__setattr__(self, "_str", rendered)
+        return rendered
 
     def __repr__(self) -> str:
         return f"Multiaddr({str(self)!r})"

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.simulation.scenario import Scenario, ScenarioConfig, ScenarioResult
+from repro.simulation.scenario import ScenarioConfig, ScenarioResult, run_scenario as _run
 
 #: builds the scenario config for one sweep cell: (n_peers, duration_days, seed)
 ScenarioBuilder = Callable[[int, float, int], ScenarioConfig]
@@ -112,4 +112,4 @@ def run_scenario_by_name(
     ``(name, peers, days, seed)`` tuples to workers instead of pickling
     configs with closures in them.
     """
-    return Scenario(build_scenario_config(name, n_peers, duration_days, seed)).run()
+    return _run(build_scenario_config(name, n_peers, duration_days, seed))

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 
 class Event:
@@ -45,7 +45,23 @@ class Event:
 
 
 class Engine:
-    """The event loop: schedule callbacks and advance simulated time."""
+    """The event loop: schedule callbacks and advance simulated time.
+
+    Subclasses (the vectorized engine) may store never-cancelled events in
+    cheaper structures, but every engine honours the same observable contract:
+
+    * events run in ascending ``(time, sequence)`` order, where the sequence
+      number is consumed from one global counter at *schedule* time — two
+      events at the same timestamp therefore fire in schedule order;
+    * :meth:`run_until` processes events with ``time <= end_time`` and leaves
+      ``now == end_time``.  An event sitting exactly at ``end_time`` fires in
+      the **first** ``run_until`` call that reaches that boundary and never
+      again in a later call (exactly-once boundary semantics — pinned by
+      ``tests/test_simulation_engine.py``).
+    """
+
+    #: whether this engine batches homogeneous events (numpy timer columns)
+    vectorized = False
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
@@ -73,6 +89,37 @@ class Engine:
         if delay < 0:
             raise ValueError("delay must be non-negative")
         return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_drop(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a fire-and-forget callback after ``delay`` seconds.
+
+        Identical ordering semantics to :meth:`schedule` (one sequence number
+        is consumed per call), but the caller receives no handle and the event
+        can never be cancelled.  The vectorized engine uses this contract to
+        skip the :class:`Event` allocation entirely; the legacy engine simply
+        delegates.  Hot paths that never cancel (session churn, contacts,
+        identify deliveries, behaviour ticks) should prefer it.
+        """
+        self.schedule(delay, callback, *args)
+
+    def schedule_bulk(
+        self,
+        times: Sequence[float],
+        callback: Callable[[Any], None],
+        payloads: Sequence[Any],
+    ) -> None:
+        """Schedule ``callback(payloads[i])`` at absolute time ``times[i]`` for all i.
+
+        Sequence numbers are consumed contiguously in input order, so ties at
+        identical timestamps resolve exactly as ``len(times)`` individual
+        :meth:`schedule_at` calls would.  Bulk events cannot be cancelled.
+        The vectorized engine stores the batch as numpy-sorted timer columns
+        instead of pushing ``len(times)`` heap entries.
+        """
+        if len(times) != len(payloads):
+            raise ValueError("times and payloads must have equal length")
+        for time, payload in zip(times, payloads):
+            self.schedule_at(time, callback, payload)
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""

@@ -1,0 +1,86 @@
+"""Deterministic serialization of scenario results, for cross-engine proofs.
+
+The vectorized engine is only allowed to be the default because every
+registered scenario produces a **byte-identical** result on it and on the
+legacy engine.  "Byte-identical" needs a precise meaning: this module renders
+a :class:`~repro.simulation.scenario.ScenarioResult` into a canonical JSON
+document — every dataset record, every crawl snapshot, every stats block,
+every counter — and hashes it.  Two results are equivalent iff their
+fingerprints match.
+
+The config block is deliberately excluded: the two runs being compared differ
+in ``config.engine`` by construction.  Everything the simulation *computed*
+is included.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import List
+
+from repro.simulation.scenario import ScenarioResult
+
+
+def _canonical(value: object) -> object:
+    """Recursively coerce a value into JSON-stable plain data.
+
+    Sets (PID sets in crawl snapshots, protocol sets in stats) are sorted by
+    their string form; tuples become lists; dataclasses render field-wise;
+    anything else must already be a JSON scalar.
+    """
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(v) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name)) for f in dataclasses.fields(value)
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _crawl_blobs(result: ScenarioResult) -> List[dict]:
+    return [
+        {
+            "started_at": snap.started_at,
+            "finished_at": snap.finished_at,
+            "discovered": sorted(str(p) for p in snap.discovered),
+            "reachable": sorted(str(p) for p in snap.reachable),
+            "unreachable": sorted(str(p) for p in snap.unreachable),
+            "queries_sent": snap.queries_sent,
+        }
+        for snap in result.crawls.snapshots
+    ]
+
+
+def result_blob(result: ScenarioResult) -> dict:
+    """Everything the simulation computed, as canonical plain data."""
+    return {
+        "events_processed": result.events_processed,
+        "version_changes": result.version_changes,
+        "role_flips": result.role_flips,
+        "autonat_flips": result.autonat_flips,
+        "datasets": {
+            label: _canonical(dataset.as_dict())
+            for label, dataset in sorted(result.datasets.items())
+        },
+        "crawls": _crawl_blobs(result),
+        "content": _canonical(result.content),
+        "adversary": _canonical(result.adversary),
+        "netmodel": _canonical(result.netmodel),
+        "faults": _canonical(result.faults),
+        "identity_keys": dict(sorted(result.identity_keys.items())),
+        "population": len(result.population.profiles),
+    }
+
+
+def result_fingerprint(result: ScenarioResult) -> str:
+    """SHA-256 over the canonical JSON rendering of :func:`result_blob`."""
+    text = json.dumps(result_blob(result), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -61,6 +61,7 @@ from repro.faults.runtime import FaultRuntime
 from repro.netmodel.runtime import NetModelRuntime, WalkClock
 from repro.simulation.churn_models import HOUR, MINUTE
 from repro.simulation.engine import Engine, PeriodicTask
+from repro.simulation.peerstate import PeerStateArrays
 from repro.simulation.population import PeerClass, PeerProfile, Population
 
 
@@ -122,6 +123,7 @@ class SimPeer:
         "attacker",
         "net",
         "flt",
+        "_identify_cache",
     )
 
     def __init__(self, profile: PeerProfile, rng: random.Random) -> None:
@@ -147,6 +149,8 @@ class SimPeer:
         self.net = None
         #: fault assignment (repro.faults), None on the fault-free fabric
         self.flt = None
+        #: memoised identify record, keyed on the mutable fields it depends on
+        self._identify_cache: Optional[tuple] = None
         self.last_online_at = float("-inf")
         self.addrs: List[Multiaddr] = addresses_for_peer(
             profile.public_ip, rng, behind_nat=profile.behind_nat
@@ -182,6 +186,15 @@ class SimPeer:
         return self.bitswap
 
     def identify_record(self) -> IdentifyRecord:
+        # The record is a pure function of (agent, kad, autonat) plus the
+        # immutable profile protocols and addresses; identify deliveries are a
+        # hot path, so the frozen record is memoised until a behaviour flips
+        # one of those fields.  Consumers treat records as immutable (the
+        # dataclass is frozen), so sharing one instance is safe.
+        key = (self.agent, self.kad_announced, self.autonat_announced)
+        cached = self._identify_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         protocols = set(self.profile.protocols)
         if self.kad_announced:
             protocols.add(KAD_DHT)
@@ -191,11 +204,13 @@ class SimPeer:
             protocols.add(AUTONAT)
         else:
             protocols.discard(AUTONAT)
-        return IdentifyRecord.make(
+        record = IdentifyRecord.make(
             agent_version=self.agent,
             protocols=protocols,
             listen_addrs=self.addrs,
         )
+        self._identify_cache = (key, record)
+        return record
 
     @property
     def is_dht_server(self) -> bool:
@@ -281,6 +296,9 @@ class SimulatedNetwork:
                 peer.flt = self.faults.assign_peer(
                     exempt=profile.is_hydra_head or profile.is_crawler
                 )
+        #: struct-of-arrays peer state, built at start() on a vectorized
+        #: engine (kad-key limbs, role/region/fault codes, session timers)
+        self.state: Optional[PeerStateArrays] = None
         self._duration: Optional[float] = None
         self._tasks: List[PeriodicTask] = []
         self._started = False
@@ -302,6 +320,8 @@ class SimulatedNetwork:
         if self.netmodel is not None:
             for identity in self.identities:
                 self.netmodel.assign_identity(identity.label)
+        if getattr(self.engine, "vectorized", False):
+            self.state = PeerStateArrays.from_network(self)
         self._build_routing_tables()
         self._compute_neighborhoods()
         for identity in self.identities:
@@ -326,8 +346,26 @@ class SimulatedNetwork:
                     lambda now, ident=identity: self._identity_outbound(ident, now),
                 )
             )
-        for peer in self.peers:
-            self._schedule_initial_session(peer, duration)
+        if self.state is not None:
+            # Vectorized path: the RNG draws happen in the same per-peer order
+            # as the legacy loop, but the resulting arrival times are staged in
+            # the session-timer array and handed to schedule_bulk in one batch
+            # (contiguous sequence numbers in peer-index order).  Arrival
+            # times are continuous draws, so the different sequence-number
+            # assignment cannot flip a tie — the equivalence suite pins this.
+            for peer in self.peers:
+                delay = self._initial_session_delay(peer, duration)
+                if delay is not None:
+                    self.state.stage_session(
+                        peer.profile.peer_index, self.engine.now + delay
+                    )
+            indices, times = self.state.staged_sessions()
+            self.engine.schedule_bulk(
+                times, self._session_start, [self.peers[i] for i in indices]
+            )
+        else:
+            for peer in self.peers:
+                self._schedule_initial_session(peer, duration)
         if self.faults is not None:
             self.faults.install(self, duration)
 
@@ -345,7 +383,24 @@ class SimulatedNetwork:
             peer.routing_table = table
 
     def _compute_neighborhoods(self) -> None:
-        """Peers closest to a measurement identity discover it quickly."""
+        """Peers closest to a measurement identity discover it quickly.
+
+        On the vectorized engine the closest-by-XOR selection runs over the
+        struct-of-arrays key limbs (broadcast XOR + lexsort); the limb order
+        is exactly the 256-bit integer order, so both paths pick the same
+        neighbourhood peers.
+        """
+        if self.state is not None:
+            server_positions = self.state.server_indices()
+            for identity in self.identities:
+                if not identity.is_dht_server or not server_positions:
+                    continue
+                target = key_for_peer(identity.peer_id)
+                closest = self.state.closest_to(
+                    target, self.config.neighborhood_size, candidates=server_positions
+                )
+                identity.neighborhood = {self.peers[i].current_pid for i in closest}
+            return
         server_peers = [p for p in self.peers if p.profile.is_dht_server]
         for identity in self.identities:
             if not identity.is_dht_server or not server_peers:
@@ -359,7 +414,14 @@ class SimulatedNetwork:
 
     # --------------------------------------------------------------- sessions ----
 
-    def _schedule_initial_session(self, peer: SimPeer, duration: float) -> None:
+    def _initial_session_delay(self, peer: SimPeer, duration: float) -> Optional[float]:
+        """Draw a peer's initial arrival; ``None`` means it started right now.
+
+        Shared by the legacy per-peer scheduling loop and the vectorized
+        batched path: both perform the identical RNG draws in the identical
+        order, and peers whose session starts immediately enter
+        :meth:`_session_start_now` inline either way.
+        """
         profile = peer.profile
         if profile.peer_class is PeerClass.ONE_TIME:
             # One-time peers appear once, spread over the whole window: this is
@@ -368,16 +430,18 @@ class SimulatedNetwork:
             # concentrate arrivals inside their burst window).
             arrival = getattr(profile.session_model, "arrival_time", None)
             if arrival is not None:
-                delay = arrival(self.rng, duration)
-            else:
-                delay = self.rng.uniform(0.0, duration * 0.95)
-            self.engine.schedule(delay, self._session_start, peer)
-            return
+                return arrival(self.rng, duration)
+            return self.rng.uniform(0.0, duration * 0.95)
         online, first_change = profile.session_model.initial_state(self.rng)
         if online:
             self._session_start_now(peer, self.engine.now, first_change)
-        else:
-            self.engine.schedule(first_change, self._session_start, peer)
+            return None
+        return first_change
+
+    def _schedule_initial_session(self, peer: SimPeer, duration: float) -> None:
+        delay = self._initial_session_delay(peer, duration)
+        if delay is not None:
+            self.engine.schedule_drop(delay, self._session_start, peer)
 
     def _session_start(self, peer: SimPeer) -> None:
         profile = peer.profile
@@ -404,11 +468,11 @@ class SimulatedNetwork:
         # The session epoch guards against stale end events: after a crash +
         # restart (repro.faults) the pre-crash session's end must not kill the
         # new session.  Without faults the epoch check never fires.
-        self.engine.schedule(uptime, self._session_end, peer, peer.sessions_started)
+        self.engine.schedule_drop(uptime, self._session_end, peer, peer.sessions_started)
         for identity in self.identities:
             delay = self._contact_delay(peer, identity)
             if delay is not None:
-                self.engine.schedule(delay, self._attempt_contact, peer, identity)
+                self.engine.schedule_drop(delay, self._attempt_contact, peer, identity)
 
     def _session_end(self, peer: SimPeer, epoch: Optional[int] = None) -> None:
         if not peer.online:
@@ -431,7 +495,7 @@ class SimulatedNetwork:
         if max_sessions is not None and peer.sessions_started >= max_sessions:
             return
         downtime = profile.session_model.next_downtime(self.rng, now)
-        self.engine.schedule(downtime, self._session_start, peer)
+        self.engine.schedule_drop(downtime, self._session_start, peer)
 
     # ----------------------------------------------------------------- faults ----
 
@@ -504,7 +568,7 @@ class SimulatedNetwork:
             # The split cuts this peer off from every vantage point; try
             # again just past the scheduled heal (spread by the fault RNG so
             # the minority's reconnects do not stampede).
-            self.engine.schedule(
+            self.engine.schedule_drop(
                 self.faults.contact_retry_delay(), self._attempt_contact, peer, identity
             )
             return
@@ -521,7 +585,7 @@ class SimulatedNetwork:
                 # Identify is a request/response exchange: one round trip on
                 # top of the processing delay (riding the same event heap).
                 delay += self.netmodel.identity_rtt(identity.label, peer.net)
-            self.engine.schedule(delay, self._deliver_identify, peer, identity)
+            self.engine.schedule_drop(delay, self._deliver_identify, peer, identity)
         self._plan_connection_end(peer, identity, conn)
 
     def _deliver_identify(self, peer: SimPeer, identity: MeasurementIdentity) -> None:
@@ -551,7 +615,7 @@ class SimulatedNetwork:
         profile = peer.profile
         if profile.is_crawler:
             duration = self.rng.uniform(*self.config.crawler_probe_duration)
-            self.engine.schedule(
+            self.engine.schedule_drop(
                 duration, self._remote_close, peer, identity, conn, CloseReason.PROTOCOL_DONE
             )
             return
@@ -563,7 +627,7 @@ class SimulatedNetwork:
             # offline or our own connection manager trims it.
             return
         delay = self.config.remote_grace + self.rng.expovariate(1.0 / self.config.remote_trim_mean)
-        self.engine.schedule(
+        self.engine.schedule_drop(
             delay, self._remote_close, peer, identity, conn, CloseReason.REMOTE_TRIM
         )
 
@@ -589,7 +653,7 @@ class SimulatedNetwork:
             return
         profile = peer.profile
         if profile.is_crawler:
-            self.engine.schedule(
+            self.engine.schedule_drop(
                 self.config.crawler_contact_interval, self._attempt_contact, peer, identity
             )
             return
@@ -597,7 +661,7 @@ class SimulatedNetwork:
             if self.rng.random() > self.config.one_time_reconnect_probability:
                 return
         delay = self.rng.expovariate(1.0 / profile.reconnect_mean)
-        self.engine.schedule(delay, self._attempt_contact, peer, identity)
+        self.engine.schedule_drop(delay, self._attempt_contact, peer, identity)
 
     # ----------------------------------------------------- identity maintenance ----
 
@@ -643,7 +707,7 @@ class SimulatedNetwork:
                 delay = self.rng.uniform(0.5, 5.0)
                 if self.netmodel is not None:
                     delay += self.netmodel.identity_rtt(identity.label, peer.net)
-                self.engine.schedule(delay, self._deliver_identify, peer, identity)
+                self.engine.schedule_drop(delay, self._deliver_identify, peer, identity)
             # Outbound connections are valued even less by the remote side: we
             # dialled them, they did not ask for us.
             delay = self.config.remote_grace + self.rng.expovariate(
@@ -654,7 +718,7 @@ class SimulatedNetwork:
                 keep *= self.config.client_keep_factor
             if self.rng.random() < keep:
                 continue
-            self.engine.schedule(
+            self.engine.schedule_drop(
                 delay, self._remote_close, peer, identity, conn, CloseReason.REMOTE_TRIM
             )
 

@@ -33,6 +33,9 @@ from repro.simulation.network import (
 )
 from repro.simulation.population import Population, PopulationConfig, generate_population
 
+#: recognised values of ``ScenarioConfig.engine``
+ENGINE_KINDS = frozenset({"legacy", "vectorized", "sharded"})
+
 #: dataset label of the go-ipfs vantage point
 GO_IPFS_LABEL = "go-ipfs"
 #: label prefix of hydra heads ("hydra-H0", "hydra-H1", ...)
@@ -62,8 +65,23 @@ class ScenarioConfig:
     #: scenarios without one are bit-identical to pre-content builds
     content: Optional[ContentRoutingConfig] = None
     seed: int = 7
+    #: event-engine selection: "vectorized" (default — byte-identical to
+    #: "legacy", proven by the cross-engine equivalence suite), "legacy"
+    #: (the original object-per-event loop), or "sharded" (opt-in: partition
+    #: the population over independently-seeded sub-simulations and merge
+    #: deterministically; same-seed deterministic but *not* byte-identical
+    #: to the single-fabric engines — see repro.simulation.sharded)
+    engine: str = "vectorized"
+    #: number of population shards when ``engine == "sharded"``
+    engine_shards: int = 4
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"engine must be one of {sorted(ENGINE_KINDS)}, got {self.engine!r}"
+            )
+        if self.engine_shards < 1:
+            raise ValueError(f"engine_shards must be >= 1, got {self.engine_shards}")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
         if self.hydra_heads < 0:
@@ -129,8 +147,13 @@ class Scenario:
     """Builds and runs one simulated measurement period."""
 
     def __init__(self, config: ScenarioConfig) -> None:
+        if config.engine == "sharded":
+            raise ValueError(
+                "sharded scenarios do not run on a single Scenario; use "
+                "run_scenario() (or repro.simulation.sharded.run_sharded_scenario)"
+            )
         self.config = config
-        self.engine = Engine()
+        self.engine = make_engine(config.engine)
         self.rng = random.Random(config.seed)
         self.population = generate_population(config.population, random.Random(config.seed + 10))
         self.network = SimulatedNetwork(
@@ -266,6 +289,22 @@ class Scenario:
         self.crawls.add(self.crawler.crawl(now))
 
 
+def make_engine(kind: str) -> Engine:
+    """Build the event engine selected by ``ScenarioConfig.engine``."""
+    if kind == "legacy":
+        return Engine()
+    if kind == "vectorized":
+        # Imported lazily: the legacy engine must not require numpy.
+        from repro.simulation.vectorized import VectorizedEngine
+
+        return VectorizedEngine()
+    raise ValueError(f"no single-fabric engine of kind {kind!r}")
+
+
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Convenience wrapper: build and run a scenario in one call."""
+    """Build and run a scenario in one call, dispatching on ``config.engine``."""
+    if config.engine == "sharded":
+        from repro.simulation.sharded import run_sharded_scenario
+
+        return run_sharded_scenario(config)
     return Scenario(config).run()

@@ -1,0 +1,184 @@
+"""The vectorized discrete-event engine.
+
+Same observable semantics as :class:`~repro.simulation.engine.Engine` — the
+cross-engine equivalence suite asserts byte-identical scenario results — but
+the internals are built for large populations:
+
+* :meth:`VectorizedEngine.schedule_drop` pushes a bare ``(time, seq,
+  callback, args)`` tuple onto the heap.  No :class:`Event` object, no
+  back-pointer, no cancelled flag: for the fabric's hot paths (session churn,
+  contacts, identify deliveries, behaviour ticks — none of which are ever
+  cancelled) this removes one allocation and two attribute writes per event.
+* :meth:`VectorizedEngine.schedule_bulk` stores a whole batch of homogeneous
+  events (e.g. every peer's initial session arrival) as numpy-sorted *timer
+  columns* instead of ``n`` individual heap pushes: one ``lexsort`` replaces
+  ``n`` ``heappush`` calls.  The drain loop merges the column head with the
+  heap head by ``(time, sequence)``, so batched and single events interleave
+  exactly as they would on the legacy engine.
+
+Determinism invariant: every schedule call — single, drop, or bulk — consumes
+sequence numbers from the *same* global counter in call order.  Two events at
+the same timestamp therefore fire in schedule order on both engines, which is
+what makes the byte-identity guarantee hold even under timestamp ties.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.engine import Engine
+
+#: compact the consumed prefix of the timer columns once it exceeds this
+_COMPACT_THRESHOLD = 4096
+
+
+class VectorizedEngine(Engine):
+    """Heap + numpy timer columns, drained in exact ``(time, seq)`` order."""
+
+    vectorized = True
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        super().__init__(start_time)
+        # The consolidated bulk column: parallel lists sorted by (time, seq),
+        # consumed front-to-back via _bulk_pos.  Kept as plain python lists
+        # after the numpy sort so the drain loop never touches numpy scalars
+        # (np.float64 leaking into `now` would poison dataset timestamps).
+        self._bulk_times: List[float] = []
+        self._bulk_seqs: List[int] = []
+        self._bulk_callbacks: List[Optional[Callable[[Any], None]]] = []
+        self._bulk_payloads: List[Any] = []
+        self._bulk_pos = 0
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule_drop(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Allocation-free fire-and-forget scheduling (see base class)."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(
+            self._heap,  # type: ignore[arg-type]
+            (self._now + delay, next(self._sequence), callback, args),
+        )
+
+    def schedule_bulk(
+        self,
+        times: Sequence[float],
+        callback: Callable[[Any], None],
+        payloads: Sequence[Any],
+    ) -> None:
+        """Batch-schedule ``callback(payloads[i])`` at ``times[i]`` (see base class)."""
+        n = len(times)
+        if n != len(payloads):
+            raise ValueError("times and payloads must have equal length")
+        if n == 0:
+            return
+        t_new = np.asarray(times, dtype=np.float64)
+        if float(t_new.min()) < self._now:
+            raise ValueError(
+                f"cannot schedule in the past ({float(t_new.min())} < {self._now})"
+            )
+        # Contiguous sequence numbers in input order: ties at identical
+        # timestamps resolve exactly as n individual schedule_at calls.
+        s_new = np.fromiter(
+            itertools.islice(self._sequence, n), dtype=np.int64, count=n
+        )
+        pos = self._bulk_pos
+        old_n = len(self._bulk_times) - pos
+        if old_n:
+            t_all = np.concatenate([np.asarray(self._bulk_times[pos:]), t_new])
+            s_all = np.concatenate(
+                [np.asarray(self._bulk_seqs[pos:], dtype=np.int64), s_new]
+            )
+            cb_all = self._bulk_callbacks[pos:] + [callback] * n
+            pl_all = self._bulk_payloads[pos:] + list(payloads)
+        else:
+            t_all, s_all = t_new, s_new
+            cb_all = [callback] * n
+            pl_all = list(payloads)
+        order = np.lexsort((s_all, t_all))
+        order_list = order.tolist()
+        self._bulk_times = t_all[order].tolist()
+        self._bulk_seqs = s_all[order].tolist()
+        self._bulk_callbacks = [cb_all[i] for i in order_list]
+        self._bulk_payloads = [pl_all[i] for i in order_list]
+        self._bulk_pos = 0
+
+    def pending(self) -> int:
+        return super().pending() + (len(self._bulk_times) - self._bulk_pos)
+
+    # -- draining ----------------------------------------------------------------
+
+    def _compact_bulk(self) -> None:
+        """Drop the consumed column prefix so long runs stay memory-bounded."""
+        pos = self._bulk_pos
+        if pos == 0:
+            return
+        del self._bulk_times[:pos]
+        del self._bulk_seqs[:pos]
+        del self._bulk_callbacks[:pos]
+        del self._bulk_payloads[:pos]
+        self._bulk_pos = 0
+
+    def _drain(self, end_time: Optional[float]) -> None:
+        """Merge-pop the heap and the timer column in (time, seq) order."""
+        heap = self._heap
+        pop = heapq.heappop
+        while True:
+            # Re-read the column each iteration: a callback may have called
+            # schedule_bulk, which rebinds the column lists.
+            bulk_times = self._bulk_times
+            has_bulk = self._bulk_pos < len(bulk_times)
+            take_bulk = False
+            if has_bulk:
+                bt = bulk_times[self._bulk_pos]
+                if not heap:
+                    take_bulk = True
+                else:
+                    head = heap[0]
+                    ht = head[0]
+                    if bt < ht or (bt == ht and self._bulk_seqs[self._bulk_pos] < head[1]):
+                        take_bulk = True
+            elif not heap:
+                break
+
+            if take_bulk:
+                if end_time is not None and bt > end_time:
+                    return
+                i = self._bulk_pos
+                self._bulk_pos = i + 1
+                callback = self._bulk_callbacks[i]
+                payload = self._bulk_payloads[i]
+                # Release references immediately: a consumed column entry must
+                # not pin peers/closures alive for the rest of the run.
+                self._bulk_callbacks[i] = None
+                self._bulk_payloads[i] = None
+                if self._bulk_pos >= _COMPACT_THRESHOLD:
+                    self._compact_bulk()
+                self._now = bt
+                self.events_processed += 1
+                callback(payload)
+                continue
+
+            time = heap[0][0]
+            if end_time is not None and time > end_time:
+                return
+            entry = pop(heap)
+            if len(entry) == 4:
+                # schedule_drop fast path: no Event, no cancellation check.
+                _, _, callback, args = entry
+                self._now = time
+                self.events_processed += 1
+                callback(*args)
+                continue
+            event = entry[2]
+            if event.cancelled:
+                self._cancelled_pending -= 1
+                continue
+            event._engine = None
+            self._now = time
+            self.events_processed += 1
+            event.callback(*event.args)

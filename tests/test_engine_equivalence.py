@@ -1,0 +1,67 @@
+"""Cross-engine equivalence: legacy vs vectorized, every registered scenario.
+
+This suite is the license for ``ScenarioConfig.engine`` defaulting to
+``"vectorized"``: each registered scenario runs at micro scale on both
+single-fabric engines and the two results must be **byte-identical** under
+the canonical serialization of :mod:`repro.simulation.equivalence` — every
+peer record, connection, change, snapshot, crawl, and stats block.
+
+Connection ids come from a process-global counter, so each run resets it;
+that counter is bookkeeping, not simulation state (the engines would differ
+by a constant id offset otherwise, regardless of behaviour).
+"""
+
+import dataclasses
+import itertools
+import json
+
+import pytest
+
+import repro.libp2p.connection as connection_module
+from repro.scenarios import build_scenario_config, scenario_names
+from repro.simulation.equivalence import result_blob, result_fingerprint
+from repro.simulation.scenario import run_scenario
+
+MICRO_PEERS = 48
+MICRO_DAYS = 0.02
+SEED = 11
+
+
+def run_micro(name: str, engine: str):
+    connection_module._connection_ids = itertools.count(1)
+    config = build_scenario_config(
+        name, n_peers=MICRO_PEERS, duration_days=MICRO_DAYS, seed=SEED
+    )
+    return run_scenario(dataclasses.replace(config, engine=engine))
+
+
+def first_divergence(blob_a: dict, blob_b: dict) -> str:
+    """Name the top-level result block where two blobs first differ."""
+    for key in blob_a:
+        if json.dumps(blob_a[key], sort_keys=True) != json.dumps(blob_b[key], sort_keys=True):
+            return key
+    return "<none>"
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_legacy_and_vectorized_are_byte_identical(name):
+    legacy = run_micro(name, "legacy")
+    vectorized = run_micro(name, "vectorized")
+    if result_fingerprint(legacy) != result_fingerprint(vectorized):
+        block = first_divergence(result_blob(legacy), result_blob(vectorized))
+        pytest.fail(f"scenario {name!r}: engines diverge first in block {block!r}")
+
+
+def test_fingerprint_is_stable_across_reruns():
+    first = run_micro("p2", "vectorized")
+    second = run_micro("p2", "vectorized")
+    assert result_fingerprint(first) == result_fingerprint(second)
+
+
+def test_fingerprint_distinguishes_different_seeds():
+    connection_module._connection_ids = itertools.count(1)
+    config = build_scenario_config(
+        "p2", n_peers=MICRO_PEERS, duration_days=MICRO_DAYS, seed=SEED + 1
+    )
+    other = run_scenario(config)
+    assert result_fingerprint(other) != result_fingerprint(run_micro("p2", "vectorized"))

@@ -1,0 +1,153 @@
+"""Sharded scenario execution: determinism, merge correctness, guard rails."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.records import (
+    ConnectionRecord,
+    MeasurementDataset,
+    PeerRecord,
+    SnapshotRecord,
+)
+from repro.faults.runtime import FaultStats
+from repro.netmodel.runtime import NetModelStats
+from repro.scenarios import build_scenario_config
+from repro.simulation.equivalence import result_fingerprint
+from repro.simulation.scenario import ScenarioConfig, run_scenario
+from repro.simulation.sharded import (
+    SHARD_SEED_STRIDE,
+    merge_datasets,
+    merge_stats,
+    run_sharded_scenario,
+    shard_configs,
+    shard_seed,
+    shard_sizes,
+)
+
+
+def micro_sharded_config(shards=3, n_peers=60, seed=11) -> ScenarioConfig:
+    config = build_scenario_config("p2", n_peers=n_peers, duration_days=0.02, seed=seed)
+    return dataclasses.replace(config, engine="sharded", engine_shards=shards)
+
+
+class TestShardPlanning:
+    def test_sizes_are_near_equal_and_sum(self):
+        assert shard_sizes(10, 3) == [4, 3, 3]
+        assert shard_sizes(9, 3) == [3, 3, 3]
+        assert sum(shard_sizes(101, 4)) == 101
+
+    def test_more_shards_than_peers_drops_empty_shards(self):
+        assert shard_sizes(2, 5) == [1, 1]
+
+    def test_seed_stride_is_disjoint_across_shards(self):
+        seeds = [shard_seed(7, i) for i in range(8)]
+        assert len(set(seeds)) == len(seeds)
+        assert all(b - a == SHARD_SEED_STRIDE for a, b in zip(seeds, seeds[1:]))
+
+    def test_shard_configs_are_single_fabric_and_cover_population(self):
+        configs = shard_configs(micro_sharded_config())
+        assert all(cfg.engine == "vectorized" for cfg in configs)
+        assert sum(cfg.population.n_peers for cfg in configs) == 60
+        # Population seed must follow the scenario seed: netmodel/faults
+        # runtimes derive their RNG from it.
+        assert all(cfg.seed == cfg.population.seed for cfg in configs)
+
+    def test_adversarial_configs_are_rejected(self):
+        config = build_scenario_config(
+            "sybil-netsize-inflation", n_peers=60, duration_days=0.02, seed=11
+        )
+        config = dataclasses.replace(config, engine="sharded")
+        with pytest.raises(ValueError, match="adversaries"):
+            run_scenario(config)
+
+
+class TestShardedDeterminism:
+    def test_rerun_is_byte_identical(self):
+        config = micro_sharded_config()
+        first = run_sharded_scenario(config)
+        second = run_sharded_scenario(config)
+        assert result_fingerprint(first) == result_fingerprint(second)
+
+    def test_worker_count_never_changes_the_result(self):
+        config = micro_sharded_config()
+        sequential = run_sharded_scenario(config, workers=1)
+        pooled = run_sharded_scenario(config, workers=2)
+        assert result_fingerprint(sequential) == result_fingerprint(pooled)
+
+    def test_run_scenario_dispatches_sharded(self):
+        config = micro_sharded_config()
+        via_dispatch = run_scenario(config)
+        direct = run_sharded_scenario(config)
+        assert result_fingerprint(via_dispatch) == result_fingerprint(direct)
+
+    def test_merged_result_shape(self):
+        config = micro_sharded_config()
+        result = run_sharded_scenario(config)
+        assert len(result.population.profiles) == 60
+        assert result.events_processed > 0
+        assert "go-ipfs" in result.datasets
+        # Per-timestamp snapshot sums: one merged snapshot per poll tick, not
+        # one per shard per tick.
+        timestamps = [s.timestamp for s in result.datasets["go-ipfs"].snapshots]
+        assert timestamps == sorted(set(timestamps))
+
+
+class TestMergeUnits:
+    def _dataset(self, label, conn_times, snap_conns):
+        ds = MeasurementDataset(label=label, started_at=0.0, ended_at=100.0)
+        for i, t in enumerate(conn_times):
+            pid = f"{label}-peer-{i}"
+            ds.peers[pid] = PeerRecord(peer=pid, first_seen=t, last_seen=t + 1)
+            ds.connections.append(
+                ConnectionRecord(peer=pid, direction="inbound", opened_at=t, closed_at=t + 1)
+            )
+        for ts, conns in snap_conns:
+            ds.snapshots.append(
+                SnapshotRecord(
+                    timestamp=ts,
+                    simultaneous_connections=conns,
+                    known_pids=conns,
+                    connected_pids=conns,
+                )
+            )
+        return ds
+
+    def test_connections_sorted_and_peers_unioned(self):
+        a = self._dataset("a", [5.0, 1.0], [])
+        b = self._dataset("b", [3.0], [])
+        merged = merge_datasets([a, b], "go-ipfs")
+        assert [c.opened_at for c in merged.connections] == [1.0, 3.0, 5.0]
+        assert len(merged.peers) == 3
+
+    def test_snapshots_sum_per_timestamp(self):
+        a = self._dataset("a", [], [(10.0, 4), (20.0, 6)])
+        b = self._dataset("b", [], [(10.0, 1), (30.0, 2)])
+        merged = merge_datasets([a, b], "go-ipfs")
+        by_ts = {s.timestamp: s.simultaneous_connections for s in merged.snapshots}
+        assert by_ts == {10.0: 5, 20.0: 6, 30.0: 2}
+
+    def test_stats_counters_sum_and_dicts_merge(self):
+        a = NetModelStats(peers=10, dial_attempts=5, class_counts={"public": 6, "nat": 4})
+        b = NetModelStats(peers=20, dial_attempts=7, class_counts={"nat": 20})
+        merged = merge_stats([a, b])
+        assert merged.peers == 30
+        assert merged.dial_attempts == 12
+        assert merged.class_counts == {"public": 6, "nat": 24}
+
+    def test_stats_bound_fields_keep_first_value(self):
+        a = NetModelStats(rtt_samples=[1.0], max_rtt_samples=10_000)
+        b = NetModelStats(rtt_samples=[2.0, 3.0], max_rtt_samples=10_000)
+        merged = merge_stats([a, b])
+        assert merged.rtt_samples == [1.0, 2.0, 3.0]
+        assert merged.max_rtt_samples == 10_000
+
+    def test_optional_float_takes_latest_heal_time(self):
+        a = FaultStats(heal_time=50.0)
+        b = FaultStats(heal_time=None)
+        c = FaultStats(heal_time=80.0)
+        assert merge_stats([a, b, c]).heal_time == 80.0
+        assert merge_stats([b, b]).heal_time is None
+
+    def test_all_none_stats_merge_to_none(self):
+        assert merge_stats([None, None]) is None

@@ -138,3 +138,82 @@ class TestPendingCounter:
         assert engine.pending() == 1
         later.cancel()
         assert engine.pending() == 0
+
+
+def _engines():
+    from repro.simulation.vectorized import VectorizedEngine
+
+    return [Engine, VectorizedEngine]
+
+
+@pytest.mark.parametrize("engine_cls", _engines())
+class TestRunUntilBoundary:
+    """Exactly-once semantics for events sitting exactly at ``end_time``.
+
+    The engine contract (see the Engine docstring) promises that an event at
+    precisely the boundary of a ``run_until`` call fires in the first call
+    that reaches the boundary and never again in a later call.  These cases
+    pin that behaviour on both engines before anyone leans on it.
+    """
+
+    def test_event_at_boundary_fires_in_first_call_only(self, engine_cls):
+        engine = engine_cls()
+        fired = []
+        engine.schedule_at(10.0, lambda: fired.append("x"))
+        engine.run_until(10.0)
+        assert fired == ["x"]
+        engine.run_until(20.0)
+        assert fired == ["x"]
+
+    def test_event_scheduled_between_same_boundary_calls_fires_once(self, engine_cls):
+        # After run_until(10) leaves now == 10, scheduling at exactly 10 and
+        # calling run_until(10) again must fire the new event exactly once.
+        engine = engine_cls()
+        fired = []
+        engine.run_until(10.0)
+        engine.schedule_at(10.0, lambda: fired.append("y"))
+        engine.run_until(10.0)
+        assert fired == ["y"]
+        engine.run_until(10.0)
+        assert fired == ["y"]
+
+    def test_nested_same_time_scheduling_drains_within_one_call(self, engine_cls):
+        engine = engine_cls()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            engine.schedule_at(engine.now, lambda: fired.append("inner"))
+
+        engine.schedule_at(5.0, outer)
+        engine.run_until(5.0)
+        assert fired == ["outer", "inner"]
+
+    def test_windowed_advance_partitions_events_exactly(self, engine_cls):
+        engine = engine_cls()
+        fired = []
+        for t in (1.0, 2.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        engine.run_until(2.0)
+        assert fired == [1.0, 2.0, 2.0]
+        engine.run_until(3.0)
+        assert fired == [1.0, 2.0, 2.0, 3.0]
+        assert engine.now == 3.0
+
+    def test_bulk_event_at_boundary_fires_exactly_once(self, engine_cls):
+        engine = engine_cls()
+        fired = []
+        engine.schedule_bulk([10.0, 10.0], fired.append, ["a", "b"])
+        engine.run_until(10.0)
+        assert fired == ["a", "b"]
+        engine.run_until(10.0)
+        assert fired == ["a", "b"]
+
+    def test_periodic_task_ticks_once_per_boundary(self, engine_cls):
+        engine = engine_cls()
+        ticks = []
+        PeriodicTask(engine, 10.0, ticks.append)
+        engine.run_until(10.0)
+        assert ticks == [10.0]
+        engine.run_until(20.0)
+        assert ticks == [10.0, 20.0]

@@ -1,0 +1,185 @@
+"""The vectorized engine is order-equivalent to the legacy engine.
+
+Property tests drive both engines through identical schedule interleavings —
+single events, fire-and-forget drops, bulk timer columns, mid-drain cascades,
+cancellations — and assert the fired ``(time, tag)`` streams are *identical*,
+including the order of timestamp ties.  Times are drawn from a tiny integer
+pool precisely to force tie collisions, which is where batched sequencing
+would first go wrong.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.engine import Engine, PeriodicTask
+from repro.simulation.vectorized import _COMPACT_THRESHOLD, VectorizedEngine
+
+ENGINES = [Engine, VectorizedEngine]
+
+#: tiny time pool → many (time, seq) ties
+tie_times = st.integers(min_value=0, max_value=5).map(float)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("drop"), tie_times),
+        st.tuples(st.just("at"), tie_times),
+        st.tuples(st.just("bulk"), st.lists(tie_times, max_size=6)),
+    ),
+    max_size=30,
+)
+
+
+def _apply(engine_cls, ops, end_time=10.0):
+    """Run one interleaving on a fresh engine; return the fired event stream."""
+    engine = engine_cls()
+    log = []
+    tags = iter(range(10**9))
+
+    def fire(tag):
+        log.append((engine.now, tag))
+
+    for kind, arg in ops:
+        if kind == "drop":
+            engine.schedule_drop(arg, fire, next(tags))
+        elif kind == "at":
+            engine.schedule_at(arg, fire, next(tags))
+        else:
+            engine.schedule_bulk(arg, fire, [next(tags) for _ in arg])
+    engine.run_until(end_time)
+    return log, engine
+
+
+@given(operations)
+def test_interleavings_fire_in_identical_order(ops):
+    legacy, _ = _apply(Engine, ops)
+    vectorized, _ = _apply(VectorizedEngine, ops)
+    assert legacy == vectorized
+
+
+@given(operations)
+def test_events_processed_and_pending_agree(ops):
+    _, legacy = _apply(Engine, ops, end_time=3.0)
+    _, vectorized = _apply(VectorizedEngine, ops, end_time=3.0)
+    assert legacy.events_processed == vectorized.events_processed
+    assert legacy.pending() == vectorized.pending()
+
+
+@given(st.lists(st.tuples(tie_times, st.integers(0, 2)), min_size=1, max_size=8))
+def test_mid_drain_bulk_cascades_match(seeds):
+    """Callbacks that bulk-schedule children mid-drain interleave identically."""
+    logs = []
+    for engine_cls in ENGINES:
+        engine = engine_cls()
+        log = []
+        tags = iter(range(10**9))
+
+        def fire(payload, engine=engine, log=log, tags=tags):
+            tag, depth = payload
+            log.append((engine.now, tag, depth))
+            if depth > 0:
+                engine.schedule_bulk(
+                    [engine.now, engine.now + 1.0],
+                    fire,
+                    [(next(tags), depth - 1), (next(tags), depth - 1)],
+                )
+
+        for time, depth in seeds:
+            engine.schedule_at(time, fire, (next(tags), depth))
+        engine.run_until(20.0)
+        logs.append(log)
+    assert logs[0] == logs[1]
+
+
+@given(operations, st.lists(st.integers(0, 20), max_size=5))
+def test_cancellations_among_drops_match(ops, cancel_picks):
+    """Cancellable events mixed into the drop/bulk stream behave identically."""
+    logs = []
+    for engine_cls in ENGINES:
+        engine = engine_cls()
+        log = []
+        tags = iter(range(10**9))
+
+        def fire(tag, engine=engine, log=log):
+            log.append((engine.now, tag))
+
+        handles = []
+        for kind, arg in ops:
+            if kind == "drop":
+                engine.schedule_drop(arg, fire, next(tags))
+            elif kind == "at":
+                handles.append(engine.schedule_at(arg, fire, next(tags)))
+            else:
+                engine.schedule_bulk(arg, fire, [next(tags) for _ in arg])
+        for pick in cancel_picks:
+            if handles:
+                handles[pick % len(handles)].cancel()
+        engine.run_until(10.0)
+        logs.append(log)
+    assert logs[0] == logs[1]
+
+
+class TestVectorizedEngineUnits:
+    def test_pending_counts_bulk_remainder(self):
+        engine = VectorizedEngine()
+        engine.schedule_bulk([1.0, 2.0, 3.0], lambda _: None, ["a", "b", "c"])
+        engine.schedule_drop(1.5, lambda: None)
+        assert engine.pending() == 4
+        engine.run_until(1.6)
+        assert engine.pending() == 2
+
+    def test_bulk_length_mismatch_rejected(self):
+        for engine_cls in ENGINES:
+            with pytest.raises(ValueError):
+                engine_cls().schedule_bulk([1.0], lambda _: None, ["a", "b"])
+
+    def test_bulk_past_time_rejected(self):
+        for engine_cls in ENGINES:
+            engine = engine_cls(start_time=10.0)
+            with pytest.raises(ValueError):
+                engine.schedule_bulk([5.0], lambda _: None, ["a"])
+
+    def test_drop_negative_delay_rejected(self):
+        for engine_cls in ENGINES:
+            with pytest.raises(ValueError):
+                engine_cls().schedule_drop(-1.0, lambda: None)
+
+    def test_empty_bulk_is_a_no_op(self):
+        engine = VectorizedEngine()
+        engine.schedule_bulk([], lambda _: None, [])
+        assert engine.pending() == 0
+
+    def test_consumed_column_prefix_compacts(self):
+        engine = VectorizedEngine()
+        n = _COMPACT_THRESHOLD + 500
+        engine.schedule_bulk(
+            [float(i) for i in range(n)], lambda _: None, list(range(n))
+        )
+        engine.run_until(float(n))
+        assert engine.pending() == 0
+        # The consumed prefix was dropped at least once mid-run.
+        assert len(engine._bulk_times) < n
+
+    def test_consumed_entries_release_references(self):
+        engine = VectorizedEngine()
+        engine.schedule_bulk([1.0, 2.0], lambda _: None, ["a", "b"])
+        engine.run_until(1.5)
+        assert engine._bulk_payloads[engine._bulk_pos - 1] is None
+        assert engine._bulk_callbacks[engine._bulk_pos - 1] is None
+
+    def test_periodic_task_runs_and_stops_on_vectorized_engine(self):
+        engine = VectorizedEngine()
+        ticks = []
+        task = PeriodicTask(engine, 1.0, ticks.append)
+        engine.run_until(3.5)
+        task.stop()
+        engine.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_events_processed_counts_all_representations(self):
+        engine = VectorizedEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule_drop(2.0, lambda: None)
+        engine.schedule_bulk([3.0], lambda _: None, ["x"])
+        engine.run_until(5.0)
+        assert engine.events_processed == 3
