@@ -18,9 +18,10 @@ from repro.analysis.attack_report import attack_headline
 from repro.analysis.reachability_report import reachability_headline
 from repro.analysis.resilience_report import resilience_headline
 from repro.analysis.tables import TextTable, format_count
+from repro.analysis.transfer_report import transfer_headline
 
-#: schema tags of the sweep artifacts
-CELL_SCHEMA = "repro-sweep-cell/1"
+#: schema tags of the sweep artifacts (cell /2: overrides + bandwidth blocks)
+CELL_SCHEMA = "repro-sweep-cell/2"
 SWEEP_SCHEMA = "repro-sweep/1"
 
 
@@ -71,6 +72,17 @@ def aggregate_payload(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) 
         "retries": sum(
             s["resilience"]["retry"]["retries"] for s in summaries if s.get("resilience")
         ),
+        "transfers": sum(
+            s["bandwidth"]["transfers"] for s in summaries if s.get("bandwidth")
+        ),
+        "transfer_timeouts": sum(
+            s["bandwidth"]["transfers_timed_out"]
+            for s in summaries
+            if s.get("bandwidth")
+        ),
+        "bytes_transferred": sum(
+            s["bandwidth"]["bytes_transferred"] for s in summaries if s.get("bandwidth")
+        ),
     }
     return {
         "schema": SWEEP_SCHEMA,
@@ -87,7 +99,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
             "Scenario", "Peers", "Seed", "Events", "Dataset",
             "PIDs", "Conns", "Avg dur (s)", "Trim share", "Queries",
             "Retr", "Retr OK", "Atk", "Attack", "Unreach", "Net",
-            "Faults", "Resil",
+            "Faults", "Resil", "Xfers", "Data plane",
         ],
         title="Scenario sweep",
     )
@@ -99,6 +111,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
         adversary = summary.get("adversary")
         netmodel = summary.get("netmodel")
         resilience = summary.get("resilience")
+        bandwidth = summary.get("bandwidth")
         faulted = (
             resilience["rpc"]["lost"]
             + resilience["rpc"]["partitioned"]
@@ -126,6 +139,8 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
             reachability_headline(netmodel),
             format_count(faulted) if resilience else "-",
             resilience_headline(resilience),
+            format_count(bandwidth["transfers"]) if bandwidth else "-",
+            transfer_headline(bandwidth),
         )
     return table
 
@@ -158,6 +173,13 @@ def render_aggregate(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) -
         totals_line += f", {format_count(totals['retries'])} retries"
     if totals["crashes"]:
         totals_line += f", {format_count(totals['crashes'])} crashes"
+    if totals["transfers"]:
+        totals_line += (
+            f", {format_count(totals['transfers'])} transfers "
+            f"({format_count(totals['bytes_transferred'])} B)"
+        )
+    if totals["transfer_timeouts"]:
+        totals_line += f", {format_count(totals['transfer_timeouts'])} transfer timeouts"
     lines.append(totals_line)
     for failure in failures:
         lines.append(

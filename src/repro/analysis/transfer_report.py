@@ -1,0 +1,75 @@
+"""Data-plane metrics: transfer latency decomposition and uplink utilization.
+
+Scenarios run under a :mod:`repro.bandwidth` model report a
+:class:`~repro.bandwidth.runtime.BandwidthStats` per run; this module reduces
+it to the deterministic, JSON-serialisable ``bandwidth`` block the sweep CLI
+embeds in every cell summary:
+
+* the ground-truth access-class composition and control-plane byte counts,
+* per-transfer percentiles (p50/p90/p99) of the total transfer time and of
+  each latency component — RTT, serialization (size / bottleneck rate), and
+  FIFO queueing delay — plus the transferred block sizes,
+* the queueing share of total latency (the "is the data plane congested"
+  headline), and
+* per-node uplink utilization percentiles over every link that carried at
+  least one transfer.
+
+Everything rounds to fixed precision and orders deterministically, so the
+block embeds into sweep-cell JSON byte-identically across reruns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.content_report import quantile_block
+
+
+def transfer_metrics(result) -> Optional[Dict]:
+    """Reduce a run's bandwidth ground truth to the sweep cell's ``bandwidth``
+    block (``None`` for scenarios that ran on the zero-size fabric)."""
+    stats = getattr(result, "bandwidth", None)
+    if stats is None:
+        return None
+    totals = [
+        rtt + serialization + queueing
+        for rtt, serialization, queueing in zip(
+            stats.transfer_rtts,
+            stats.transfer_serializations,
+            stats.transfer_queueings,
+        )
+    ]
+    return {
+        "peers": stats.peers,
+        "classes": dict(sorted(stats.class_counts.items())),
+        "control_rpcs": stats.control_rpcs,
+        "control_bytes": stats.control_bytes,
+        "identify_payloads": stats.identify_payloads,
+        "identify_bytes": stats.identify_bytes,
+        "transfers": stats.transfers,
+        "transfers_timed_out": stats.transfers_timed_out,
+        "timeout_rate": round(stats.timeout_rate, 6),
+        "bytes_transferred": stats.bytes_transferred,
+        "mean_transfer_time": round(stats.mean_transfer_time, 6),
+        "queueing_share": round(stats.queueing_share, 6),
+        "transfer_time": quantile_block(totals, 6),
+        "rtt": quantile_block(stats.transfer_rtts, 6),
+        "serialization": quantile_block(stats.transfer_serializations, 6),
+        "queueing": quantile_block(stats.transfer_queueings, 6),
+        "size": quantile_block(stats.transfer_sizes, 0),
+        "utilized_links": len(stats.utilization_samples),
+        "utilization": quantile_block(stats.utilization_samples, 6),
+    }
+
+
+def transfer_headline(block: Optional[Dict]) -> str:
+    """A compact, table-cell-sized summary of the dominant data-plane effect."""
+    if not block:
+        return "-"
+    if block["transfers_timed_out"]:
+        return f"bw to {block['timeout_rate']:.2f}"
+    if block["transfers"]:
+        if block["queueing_share"] >= 0.05:
+            return f"bw q {block['queueing_share']:.0%}"
+        return f"bw p90 {block['transfer_time']['p90']:.2f}s"
+    return "bw idle"

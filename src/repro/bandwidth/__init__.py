@@ -1,0 +1,33 @@
+"""Data-plane bandwidth model: block sizes, link classes, transmit queues.
+
+See :mod:`repro.bandwidth.config` for the model description.  Attach a
+:class:`BandwidthConfig` to ``PopulationConfig.bandwidth`` to activate it;
+``None`` (the default) keeps the zero-size fabric byte-identical to earlier
+builds.
+"""
+
+from repro.bandwidth.config import (
+    DEFAULT_CLASSES,
+    KB,
+    MB,
+    BandwidthClass,
+    BandwidthConfig,
+)
+from repro.bandwidth.runtime import (
+    BandwidthRuntime,
+    BandwidthStats,
+    PeerLink,
+    TransferPlan,
+)
+
+__all__ = [
+    "DEFAULT_CLASSES",
+    "KB",
+    "MB",
+    "BandwidthClass",
+    "BandwidthConfig",
+    "BandwidthRuntime",
+    "BandwidthStats",
+    "PeerLink",
+    "TransferPlan",
+]

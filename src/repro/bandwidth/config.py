@@ -1,0 +1,111 @@
+"""Configuration of the data-plane bandwidth model.
+
+Until this subsystem existed a Bitswap "fetch" was a zero-size token riding
+the netmodel RTT: heavy-traffic scenarios could not saturate anything.  The
+bandwidth model gives every peer an up/down link drawn from a small set of
+access classes (datacenter / fiber / cable / DSL / mobile), charges control
+traffic (DHT RPCs, identify payloads) realistic byte counts, and serializes
+Bitswap block transfers through per-peer FIFO transmit queues — so retrieval
+latency decomposes into RTT + serialization (size / bandwidth) + queueing
+delay.
+
+Attach a :class:`BandwidthConfig` to ``PopulationConfig.bandwidth`` to
+activate it; ``None`` (the default) keeps the zero-size fabric, draws nothing
+from any RNG, and leaves every pre-existing fixed-seed golden byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: kilo/mega bytes per second, for readable class definitions
+KB = 1_000.0
+MB = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class BandwidthClass:
+    """One access class: a name, link rates in bytes/second, and its share."""
+
+    name: str
+    #: uplink rate (bytes/second) — the side that saturates first in practice
+    up: float
+    #: downlink rate (bytes/second)
+    down: float
+    #: share of the population drawn into this class (shares sum to 1)
+    share: float
+
+
+#: default access-class mix, loosely following consumer access-technology
+#: surveys: a thin datacenter head, a broad cable/DSL middle, a mobile tail.
+#: Uplinks are asymmetric (cable/DSL/mobile upload ≪ download), which is what
+#: makes provider hotspots saturate.
+DEFAULT_CLASSES: Tuple[BandwidthClass, ...] = (
+    BandwidthClass("datacenter", up=125 * MB, down=125 * MB, share=0.08),
+    BandwidthClass("fiber", up=12.5 * MB, down=37.5 * MB, share=0.22),
+    BandwidthClass("cable", up=2.5 * MB, down=25 * MB, share=0.35),
+    BandwidthClass("dsl", up=750 * KB, down=6.25 * MB, share=0.25),
+    BandwidthClass("mobile", up=300 * KB, down=2.5 * MB, share=0.10),
+)
+
+
+@dataclass(frozen=True)
+class BandwidthConfig:
+    """Knobs of the data-plane model.
+
+    ``uplink_scale`` / ``downlink_scale`` multiply every class's rates —
+    the sweepable "tighten all uplinks" knob regime benchmarks turn.
+    """
+
+    classes: Tuple[BandwidthClass, ...] = DEFAULT_CLASSES
+    uplink_scale: float = 1.0
+    downlink_scale: float = 1.0
+
+    #: control-plane payload sizes (bytes): one DHT RPC's request and reply
+    #: (a FIND_NODE reply carries ~20 peers with multiaddrs), and one
+    #: identify record (agent, protocols, listen addrs)
+    rpc_request_bytes: int = 256
+    rpc_response_bytes: int = 2048
+    identify_bytes: int = 2500
+
+    #: a retriever abandons a fetch whose RTT + queueing + serialization
+    #: would exceed this many seconds (``None``: wait forever); this is what
+    #: turns a saturated provider uplink into retrieval *failures*
+    transfer_timeout: Optional[float] = 120.0
+
+    #: offsets this subsystem's RNG stream from the base seed (netmodel uses
+    #: 7000, faults use 8000)
+    seed_salt: int = 9000
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("classes must not be empty")
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"class names must be unique, got {names}")
+        for cls in self.classes:
+            if cls.up <= 0 or cls.down <= 0:
+                raise ValueError(
+                    f"class {cls.name!r} rates must be positive, got "
+                    f"up={cls.up}/down={cls.down}"
+                )
+            if cls.share < 0:
+                raise ValueError(
+                    f"class {cls.name!r} share must be >= 0, got {cls.share}"
+                )
+        share_sum = sum(cls.share for cls in self.classes)
+        if abs(share_sum - 1.0) > 1e-6:
+            raise ValueError(f"class shares must sum to 1, got {share_sum}")
+        for name in ("uplink_scale", "downlink_scale"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        for name in ("rpc_request_bytes", "rpc_response_bytes", "identify_bytes"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.transfer_timeout is not None and self.transfer_timeout <= 0:
+            raise ValueError(
+                f"transfer_timeout must be positive or None, got {self.transfer_timeout}"
+            )

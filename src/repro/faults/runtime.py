@@ -17,9 +17,12 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.faults.config import FaultConfig
 from repro.faults.retry import RetryState
+from repro.simulation.fabric import FabricRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netmodel.runtime import WalkClock
     from repro.simulation.network import SimPeer, SimulatedNetwork
+    from repro.simulation.population import PeerProfile
 
 #: recovery-delay samples kept per run (enough for any partition we model)
 MAX_RECOVERY_SAMPLES = 10_000
@@ -124,8 +127,11 @@ class FaultStats:
             self.recovery_samples_dropped += 1
 
 
-class FaultRuntime:
+class FaultRuntime(FabricRuntime):
     """Deterministic fault injector wired into :class:`SimulatedNetwork`."""
+
+    slot = "flt"
+    name = "faults"
 
     def __init__(self, config: FaultConfig, seed: int, engine) -> None:
         self.config = config
@@ -145,15 +151,21 @@ class FaultRuntime:
 
     # -------------------------------------------------------------- assignment ----
 
-    def assign_peer(self, exempt: bool = False) -> PeerFault:
+    def assign_peer(
+        self, profile: Optional["PeerProfile"] = None, *, exempt: bool = False
+    ) -> PeerFault:
         """Draw one peer's fault assignment.
 
         Called in peer-index order; each active block performs a fixed number
         of draws (crash: 1, partition: 1, slow: 2) so the stream is a pure
         function of the assignment order.  Vantage-point peers (hydra heads,
         crawlers) are ``exempt``: their draws still happen — keeping the
-        stream aligned — but never mark them faulty.
+        stream aligned — but never mark them faulty.  The fabric passes the
+        peer's ``profile`` (the :class:`FabricRuntime` hook form) and the
+        exemption is derived from it.
         """
+        if profile is not None:
+            exempt = profile.is_hydra_head or profile.is_crawler
         flt = PeerFault()
         self.stats.peers += 1
         crash = self.config.crash
@@ -342,3 +354,30 @@ class FaultRuntime:
         if self.config.retry is None:
             return None
         return RetryState(self.config.retry, self.rng, clock=clock, stats=self.stats)
+
+    # -- FabricRuntime hooks ---------------------------------------------------------
+
+    def on_contact(self, peer: "SimPeer") -> Optional[float]:
+        # A partitioned peer retries just past the scheduled heal; the delay
+        # draw happens only when the contact is actually blocked, keeping the
+        # fault stream untouched on clean contacts.
+        if self.contact_blocked(peer.flt):
+            return self.contact_retry_delay()
+        return None
+
+    def note_contact_made(self, peer: "SimPeer") -> None:
+        self.note_contact(peer.flt)
+
+    def on_dial(self, peer: "SimPeer") -> bool:
+        return not self.dial_blocked(peer.flt)
+
+    def on_rpc(self, src: Optional["SimPeer"], dst: "SimPeer") -> bool:
+        return self.deliver(src.flt if src is not None else None, dst.flt)
+
+    def on_timed_rpc(
+        self, clock: "WalkClock", src: Optional["SimPeer"], dst: "SimPeer"
+    ) -> bool:
+        # A slow responder burns its RTT spike on the walk clock whether or
+        # not the exchange then survives the wire.
+        clock.elapsed += self.slow_penalty(dst.flt, clock.last_rtt)
+        return self.deliver(src.flt if src is not None else None, dst.flt)

@@ -17,9 +17,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.netmodel.config import NAT, PUBLIC, RELAYED, NetModelConfig
+from repro.simulation.fabric import FabricRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulation.network import SimPeer
+    from repro.simulation.population import PeerProfile
 
 
 class PeerNet:
@@ -90,12 +95,15 @@ class WalkClock:
     are bounded in simulated time, not only in query count.
     """
 
-    __slots__ = ("runtime", "source", "elapsed")
+    __slots__ = ("runtime", "source", "elapsed", "last_rtt")
 
     def __init__(self, runtime: "NetModelRuntime", source: PeerNet) -> None:
         self.runtime = runtime
         self.source = source
         self.elapsed = 0.0
+        #: RTT of the most recent charge(); downstream runtimes (slow-node
+        #: penalties) scale it without re-deriving the endpoints
+        self.last_rtt = 0.0
 
     def dial(self, target: PeerNet) -> bool:
         """Attempt a dial; a NATed target burns the timeout and fails."""
@@ -108,6 +116,7 @@ class WalkClock:
         """Charge one RPC round trip against the clock."""
         rtt = self.runtime.rtt(self.source, target)
         self.elapsed += rtt
+        self.last_rtt = rtt
         self.runtime.record_rtt(rtt)
         return rtt
 
@@ -124,8 +133,11 @@ class WalkClock:
         return self.elapsed
 
 
-class NetModelRuntime:
+class NetModelRuntime(FabricRuntime):
     """Per-run state: peer assignments, RTT arithmetic, and stats."""
+
+    slot = "net"
+    name = "netmodel"
 
     def __init__(self, config: NetModelConfig, seed: int) -> None:
         self.config = config
@@ -155,9 +167,24 @@ class NetModelRuntime:
                 return index
         return len(self._cum_weights) - 1
 
-    def assign_peer(self, behind_nat: bool = False, force_public: bool = False) -> PeerNet:
+    def assign_peer(
+        self,
+        profile: Optional["PeerProfile"] = None,
+        *,
+        behind_nat: bool = False,
+        force_public: bool = False,
+    ) -> PeerNet:
         """Draw one peer's conditions (always three draws, so the stream is a
-        pure function of the assignment order)."""
+        pure function of the assignment order).
+
+        The fabric passes the peer's ``profile`` (the :class:`FabricRuntime`
+        hook form); the keyword form spells the relevant facts out directly.
+        Vantage-point-like peers (hydra heads, crawlers) are forced public —
+        they run the study and must stay dialable.
+        """
+        if profile is not None:
+            behind_nat = profile.behind_nat
+            force_public = profile.is_hydra_head or profile.is_crawler
         regions = self.config.regions
         reach = self.config.reachability
         region = self._draw_region()
@@ -223,3 +250,29 @@ class NetModelRuntime:
 
     def clock(self, source: PeerNet) -> WalkClock:
         return WalkClock(self, source)
+
+    # -- FabricRuntime hooks ---------------------------------------------------------
+
+    def on_dial(self, peer: "SimPeer") -> bool:
+        return self.dial(peer.net)
+
+    def on_rpc(self, src: Optional["SimPeer"], dst: "SimPeer") -> bool:
+        # An RPC against a NATed peer fails exactly like a real dial does
+        # (the crawler-undercount mechanism); src pays nothing extra here.
+        return self.dial(dst.net)
+
+    def on_timed_rpc(
+        self, clock: WalkClock, src: Optional["SimPeer"], dst: "SimPeer"
+    ) -> bool:
+        # A failed dial burns the timeout on the walk clock; a successful one
+        # is charged a round trip (stashed as clock.last_rtt for runtimes
+        # later in the dispatch order).
+        if not clock.dial(dst.net):
+            return False
+        clock.charge(dst.net)
+        return True
+
+    def identify_delay(self, label: str, peer: "SimPeer") -> float:
+        # Identify is a request/response exchange: one round trip on top of
+        # the processing delay (riding the same event heap).
+        return self.identity_rtt(label, peer.net)

@@ -26,7 +26,11 @@ Six families are registered at import time:
 * four fault-injection scenarios (:mod:`repro.faults`) that pair injected
   failures with retry/backoff resilience: lossy links dropping RPCs, a
   regional partition with a scheduled heal, a crash storm leaving dirty
-  provider records behind, and a slow-node tail eating walk budgets.
+  provider records behind, and a slow-node tail eating walk budgets, and
+* four data-plane scenarios (:mod:`repro.bandwidth`) that give blocks real
+  sizes and peers real up/down links: a flash crowd over large blocks, a
+  relayed plurality on starved uplinks, a provider hotspot saturating its
+  uplink, and a mixed-size catalog spreading transfer percentiles.
 
 Every stress scenario derives its connection-manager watermarks through the
 same :func:`repro.experiments.periods.scale_watermarks` helper the paper
@@ -51,6 +55,7 @@ from repro.adversary.config import (
     RoutingPoisonConfig,
     SybilFloodConfig,
 )
+from repro.bandwidth.config import BandwidthConfig
 from repro.experiments.periods import PERIODS, scale_watermarks
 from repro.faults.config import (
     CrashConfig,
@@ -446,6 +451,247 @@ def _register_content_scenarios() -> None:
                 "republish": "off",
                 "publisher_share": 0.06,
                 "retriever_share": 0.3,
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+
+
+# -- data-plane (bandwidth) scenarios -----------------------------------------------
+
+#: a mixed catalog: metadata-sized blocks up to video-chunk large objects
+MIXED_BLOCK_CLASSES = (
+    (16_000, 0.45),
+    (262_144, 0.30),
+    (4_000_000, 0.20),
+    (33_554_432, 0.05),
+)
+#: a large-object distribution (the flash-crowd and hotspot regimes)
+LARGE_BLOCK_CLASSES = (
+    (4_000_000, 0.55),
+    (16_000_000, 0.35),
+    (67_108_864, 0.10),
+)
+#: bandwidth-starved-relays: every uplink cut to a quarter
+STARVED_UPLINK_SCALE = 0.25
+STARVED_RELAY_SHARE = 0.35
+STARVED_NAT_SHARE = 0.20
+#: provider-hotspot: a couple of publishers serve a steep-Zipf handful of items
+HOTSPOT_PUBLISHER_SHARE = 0.02
+HOTSPOT_RETRIEVER_SHARE = 0.5
+HOTSPOT_ZIPF = 1.6
+HOTSPOT_ITEMS = 8
+
+
+def _scaled_blocks(classes: tuple, size_scale: float) -> tuple:
+    """Multiply every block size in a ``(size, weight)`` mix by ``size_scale``."""
+    if size_scale <= 0:
+        raise ValueError(f"size_scale must be positive, got {size_scale}")
+    return tuple(
+        (max(1, int(round(size * size_scale))), weight) for size, weight in classes
+    )
+
+
+def flash_crowd_large_blocks_config(
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    size_scale: float = 1.0,
+    uplink_scale: float = 1.0,
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    burst_start, burst_duration = _burst_window(duration)
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        class_shares=dict(FLASH_CROWD_SHARES),
+        churn_model_factory=_flash_crowd_factory(burst_start, burst_duration),
+        discovery_scale=FLASH_CROWD_DISCOVERY_SCALE,
+        netmodel=NetModelConfig(),
+        bandwidth=BandwidthConfig(uplink_scale=uplink_scale),
+    )
+    content = replace(
+        _content_workload(
+            duration,
+            retriever_share=FLASH_RETRIEVER_SHARE,
+            zipf_exponent=FLASH_ZIPF_EXPONENT,
+            retrieve_fraction=1 / 24,
+        ),
+        block_size_classes=_scaled_blocks(LARGE_BLOCK_CLASSES, size_scale),
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=content,
+        seed=seed,
+    )
+
+
+def bandwidth_starved_relays_config(
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    uplink_scale: float = STARVED_UPLINK_SCALE,
+    relay_share: float = STARVED_RELAY_SHARE,
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    netmodel = NetModelConfig(
+        reachability=ReachabilityConfig(
+            nat_share=STARVED_NAT_SHARE,
+            relay_share=relay_share,
+            relay_penalty=RELAY_PENALTY,
+        ),
+    )
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        netmodel=netmodel,
+        bandwidth=BandwidthConfig(uplink_scale=uplink_scale),
+    )
+    content = replace(
+        _content_workload(duration, retriever_share=0.4),
+        block_size_classes=MIXED_BLOCK_CLASSES,
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=content,
+        seed=seed,
+    )
+
+
+def provider_hotspot_config(
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    uplink_scale: float = 1.0,
+    size_scale: float = 1.0,
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        bandwidth=BandwidthConfig(uplink_scale=uplink_scale),
+    )
+    content = replace(
+        _content_workload(
+            duration,
+            publisher_share=HOTSPOT_PUBLISHER_SHARE,
+            retriever_share=HOTSPOT_RETRIEVER_SHARE,
+            zipf_exponent=HOTSPOT_ZIPF,
+            retrieve_fraction=1 / 24,
+        ),
+        n_items=HOTSPOT_ITEMS,
+        block_size_classes=_scaled_blocks(LARGE_BLOCK_CLASSES, size_scale),
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=content,
+        seed=seed,
+    )
+
+
+def mixed_size_catalog_config(
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    size_scale: float = 1.0,
+    uplink_scale: float = 1.0,
+) -> ScenarioConfig:
+    duration = duration_days * DAY
+    population = replace(
+        PopulationConfig.scaled_to_paper(n_peers, seed=seed),
+        bandwidth=BandwidthConfig(uplink_scale=uplink_scale),
+    )
+    content = replace(
+        _content_workload(duration, retriever_share=0.4),
+        block_size_classes=_scaled_blocks(MIXED_BLOCK_CLASSES, size_scale),
+    )
+    return ScenarioConfig(
+        duration=duration,
+        population=population,
+        go_ipfs=_server_vantage(2_000, 4_000, n_peers),
+        content=content,
+        seed=seed,
+    )
+
+
+def _register_bandwidth_scenarios() -> None:
+    register(
+        ScenarioSpec(
+            name="flash-crowd-large-blocks",
+            description=(
+                "A flash crowd hammers a large-object catalog: popular "
+                "providers' uplinks queue up and transfers start timing out"
+            ),
+            builder=flash_crowd_large_blocks_config,
+            tags=("bandwidth", "burst", "content"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "blocks": "4/16/64 MB mix",
+                "retriever_share": FLASH_RETRIEVER_SHARE,
+                "zipf": FLASH_ZIPF_EXPONENT,
+                "intensity": FLASH_CROWD_INTENSITY,
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="bandwidth-starved-relays",
+            description=(
+                "A relayed plurality on quarter-rate uplinks: relay latency "
+                "penalties stack on top of real serialization delay"
+            ),
+            builder=bandwidth_starved_relays_config,
+            tags=("bandwidth", "relay", "content"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "uplink_scale": STARVED_UPLINK_SCALE,
+                "relay_share": STARVED_RELAY_SHARE,
+                "relay_penalty": RELAY_PENALTY,
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="provider-hotspot",
+            description=(
+                "Two-ish publishers serve a steep-Zipf handful of large "
+                "items: the hot provider's uplink saturates and queues"
+            ),
+            builder=provider_hotspot_config,
+            tags=("bandwidth", "hotspot", "content"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "publisher_share": HOTSPOT_PUBLISHER_SHARE,
+                "retriever_share": HOTSPOT_RETRIEVER_SHARE,
+                "zipf": HOTSPOT_ZIPF,
+                "n_items": HOTSPOT_ITEMS,
+                "watermarks": "2000/4000 scaled",
+            },
+        )
+    )
+    register(
+        ScenarioSpec(
+            name="mixed-size-catalog",
+            description=(
+                "A metadata-to-video block-size mix over the default access "
+                "classes: transfer percentiles spread across four decades"
+            ),
+            builder=mixed_size_catalog_config,
+            tags=("bandwidth", "content"),
+            default_peers=600,
+            default_duration_days=0.5,
+            knobs={
+                "blocks": "16 KB – 32 MB mix",
+                "retriever_share": 0.4,
+                "classes": "datacenter/fiber/cable/dsl/mobile",
                 "watermarks": "2000/4000 scaled",
             },
         )
@@ -1197,3 +1443,4 @@ _register_content_scenarios()
 _register_adversary_scenarios()
 _register_netmodel_scenarios()
 _register_fault_scenarios()
+_register_bandwidth_scenarios()

@@ -15,6 +15,7 @@ sweep runner fans out.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -24,6 +25,30 @@ from repro.simulation.scenario import ScenarioConfig, ScenarioResult, run_scenar
 ScenarioBuilder = Callable[[int, float, int], ScenarioConfig]
 
 _REGISTRY: Dict[str, "ScenarioSpec"] = {}
+
+
+class UnknownOverrideError(ValueError):
+    """An override key the scenario's builder does not accept."""
+
+
+def override_parameters(builder: ScenarioBuilder) -> Dict[str, inspect.Parameter]:
+    """The override keys a builder exposes: every keyword parameter after the
+    ``(n_peers, duration_days, seed)`` triple.
+
+    Parameters named with a leading underscore are builder-internal plumbing
+    (e.g. the default-bound spec of a registered lambda) and are not
+    overridable.
+    """
+    params = list(inspect.signature(builder).parameters.values())
+    keyword_kinds = (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    )
+    return {
+        param.name: param
+        for param in params[3:]
+        if param.kind in keyword_kinds and not param.name.startswith("_")
+    }
 
 
 @dataclass(frozen=True)
@@ -40,16 +65,42 @@ class ScenarioSpec:
     #: human-readable knob values, rendered by ``--list`` and the README table
     knobs: Mapping[str, object] = field(default_factory=dict)
 
+    def override_keys(self) -> List[str]:
+        """The override keys this scenario accepts, sorted."""
+        return sorted(override_parameters(self.builder))
+
+    def validate_overrides(self, overrides: Optional[Mapping[str, object]]) -> Dict[str, object]:
+        """Check ``overrides`` against the builder's keyword parameters.
+
+        Returns a plain dict safe to splat into the builder; raises
+        :class:`UnknownOverrideError` naming the known keys otherwise — the
+        one validation path shared by :meth:`build`, the sweep CLI, and the
+        benchmarks.
+        """
+        if not overrides:
+            return {}
+        known = self.override_keys()
+        unknown = sorted(set(overrides) - set(known))
+        if unknown:
+            known_text = ", ".join(known) if known else "(none)"
+            raise UnknownOverrideError(
+                f"scenario {self.name!r} does not accept override(s) "
+                f"{', '.join(unknown)}; known keys: {known_text}"
+            )
+        return dict(overrides)
+
     def build(
         self,
         n_peers: Optional[int] = None,
         duration_days: Optional[float] = None,
         seed: int = 7,
+        overrides: Optional[Mapping[str, object]] = None,
     ) -> ScenarioConfig:
         """Resolve defaults and build the runnable scenario config."""
         peers = n_peers if n_peers is not None else self.default_peers
         days = duration_days if duration_days is not None else self.default_duration_days
-        return self.builder(peers, days, seed)
+        kwargs = self.validate_overrides(overrides)
+        return self.builder(peers, days, seed, **kwargs)
 
 
 def normalize_name(name: str) -> str:
@@ -95,9 +146,12 @@ def build_scenario_config(
     n_peers: Optional[int] = None,
     duration_days: Optional[float] = None,
     seed: int = 7,
+    overrides: Optional[Mapping[str, object]] = None,
 ) -> ScenarioConfig:
     """Resolve ``name`` and build its config (defaults from the spec)."""
-    return scenario(name).build(n_peers=n_peers, duration_days=duration_days, seed=seed)
+    return scenario(name).build(
+        n_peers=n_peers, duration_days=duration_days, seed=seed, overrides=overrides
+    )
 
 
 def run_scenario_by_name(
@@ -105,11 +159,12 @@ def run_scenario_by_name(
     n_peers: Optional[int] = None,
     duration_days: Optional[float] = None,
     seed: int = 7,
+    overrides: Optional[Mapping[str, object]] = None,
 ) -> ScenarioResult:
     """Build and run one registered scenario.
 
     Module-level so the process-parallel sweep runner can ship
-    ``(name, peers, days, seed)`` tuples to workers instead of pickling
-    configs with closures in them.
+    ``(name, peers, days, seed, overrides)`` tuples to workers instead of
+    pickling configs with closures in them.
     """
-    return _run(build_scenario_config(name, n_peers, duration_days, seed))
+    return _run(build_scenario_config(name, n_peers, duration_days, seed, overrides))

@@ -160,7 +160,12 @@ class ContentBehaviors:
         self.network = network
         self.rng = rng or random.Random(network.population.config.seed + 3)
         self.config = config or ContentRoutingConfig()
-        self.catalog = ZipfCatalog(self.config.n_items, self.config.zipf_exponent)
+        self.catalog = ZipfCatalog(
+            self.config.n_items,
+            self.config.zipf_exponent,
+            size_classes=self.config.block_size_classes,
+            size_seed=self.config.block_size_seed,
+        )
         self.stats = ContentRoutingStats()
         self._duration = 0.0
         self._sweep_task: Optional[PeriodicTask] = None
@@ -394,6 +399,27 @@ class ContentBehaviors:
                 # the failed dial still costs the same timeout a walk pays.
                 latency += network.netmodel.config.reachability.dial_timeout
                 continue
+            bandwidth = network.bandwidth
+            plan = None
+            if bandwidth is not None:
+                # Plan the transfer *before* the Bitswap exchange: a fetch
+                # abandoned for a hopeless queue must not end with the block
+                # in the local store anyway.
+                rtt = 0.0
+                if network.netmodel is not None:
+                    rtt = network.netmodel.rtt(peer.net, provider.net)
+                plan = bandwidth.plan_transfer(
+                    self.engine.now,
+                    provider.link,
+                    peer.link,
+                    self.catalog.size(item),
+                    rtt=rtt,
+                )
+                if plan is None:
+                    # The provider's uplink (or our downlink) is saturated past
+                    # the timeout: give up on this provider and try the next.
+                    latency += bandwidth.config.transfer_timeout
+                    continue
             if faults is None:
                 block = bitswap.fetch_from(peer.current_pid, pid, provider.bitswap, cid)
             else:
@@ -407,10 +433,15 @@ class ContentBehaviors:
                 )
             if block is not None:
                 success = True
-                latency += self.rng.uniform(*config.transfer_latency)
-                if network.netmodel is not None:
-                    # The Bitswap exchange pays its round trip to the provider.
-                    latency += network.netmodel.rtt(peer.net, provider.net)
+                if plan is not None:
+                    # Real data plane: RTT + queueing + serialization, and the
+                    # links stay busy for everyone behind us.
+                    latency += bandwidth.commit_transfer(self.engine.now, plan)
+                else:
+                    latency += self.rng.uniform(*config.transfer_latency)
+                    if network.netmodel is not None:
+                        # The Bitswap exchange pays its round trip to the provider.
+                        latency += network.netmodel.rtt(peer.net, provider.net)
                 break
         stats = self.stats
         stats.retrievals += 1

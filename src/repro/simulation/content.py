@@ -19,7 +19,7 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.kademlia.keys import key_for_content
 from repro.kademlia.provider_store import (
@@ -37,9 +37,23 @@ class ZipfCatalog:
     what makes flash-crowd retrieval scenarios concentrate on few keys.  CIDs,
     keys, and block payloads are all pure functions of the item index, so two
     runs with the same seed publish and resolve identical content.
+
+    ``size_classes`` gives every item a *real* byte size, drawn per item (in
+    item order, from an independent ``size_seed`` stream — the honest workload
+    RNG is untouched) over ``(size_bytes, weight)`` pairs; the data-plane
+    bandwidth model serializes these sizes through the transmit queues.
+    ``None`` (the default) reports the tiny deterministic payload's length, so
+    pre-existing goldens are unchanged.  Multi-MB sizes are transfer metadata:
+    the stored block payload stays small either way.
     """
 
-    def __init__(self, n_items: int, exponent: float = 1.05) -> None:
+    def __init__(
+        self,
+        n_items: int,
+        exponent: float = 1.05,
+        size_classes: Optional[Sequence[Tuple[int, float]]] = None,
+        size_seed: int = 0,
+    ) -> None:
         if n_items <= 0:
             raise ValueError(f"n_items must be positive, got {n_items}")
         if exponent <= 0:
@@ -53,6 +67,27 @@ class ZipfCatalog:
             cumulative.append(total)
         self._cumulative = [c / total for c in cumulative]
         self._keys: List[Optional[int]] = [None] * n_items
+        self._sizes: Optional[List[int]] = None
+        if size_classes:
+            for size, weight in size_classes:
+                if size <= 0:
+                    raise ValueError(f"block sizes must be positive, got {size}")
+                if weight <= 0:
+                    raise ValueError(
+                        f"block-size weights must be positive, got {weight} for size {size}"
+                    )
+            size_rng = random.Random(size_seed)
+            weight_total = float(sum(weight for _, weight in size_classes))
+            size_cum: List[float] = []
+            running = 0.0
+            for _, weight in size_classes:
+                running += weight / weight_total
+                size_cum.append(running)
+            self._sizes = []
+            for _ in range(n_items):
+                roll = size_rng.random()
+                index = bisect.bisect_left(size_cum, roll)
+                self._sizes.append(size_classes[min(index, len(size_classes) - 1)][0])
 
     def sample(self, rng: random.Random) -> int:
         """Draw an item index by popularity."""
@@ -72,6 +107,16 @@ class ZipfCatalog:
     def block(self, item: int) -> bytes:
         """The deterministic block payload of an item."""
         return (self.cid(item).encode() + b"|") * 16
+
+    def size(self, item: int) -> int:
+        """The transfer size of an item's block in bytes.
+
+        The drawn size when the catalog carries a size distribution, the
+        stored payload's length otherwise.
+        """
+        if self._sizes is not None:
+            return self._sizes[item]
+        return len(self.block(item))
 
 
 @dataclass
@@ -103,13 +148,24 @@ class ContentRoutingConfig:
     max_providers: int = 5
     #: bootstrap servers seeding a lookup (clients have no routing table)
     bootstrap_count: int = 4
-    #: simulated per-hop RTT and block-transfer time (uniform bounds, seconds)
+    #: simulated per-hop RTT and block-transfer time (uniform bounds, seconds);
+    #: the transfer draw is replaced by real queue/serialization accounting
+    #: when a bandwidth model is attached
     per_hop_latency: Tuple[float, float] = (0.06, 0.35)
     transfer_latency: Tuple[float, float] = (0.1, 0.8)
     #: interval of the provider-store expiry sweep (``None``: half the TTL)
     expiry_sweep_interval: Optional[float] = None
+    #: per-item block-size distribution ((size_bytes, weight) pairs) drawn at
+    #: catalog construction from ``block_size_seed``; ``None`` (the default)
+    #: keeps the tiny deterministic payload sizes, so pre-existing goldens
+    #: are unchanged
+    block_size_classes: Optional[Tuple[Tuple[int, float], ...]] = None
+    block_size_seed: int = 101
 
     def __post_init__(self) -> None:
+        # Every rejection names the offending field and the value it carried;
+        # a sweep override that lands out of range must be attributable from
+        # the message alone.
         if self.n_items <= 0:
             raise ValueError(f"n_items must be positive, got {self.n_items}")
         if self.zipf_exponent <= 0:
@@ -122,20 +178,36 @@ class ContentRoutingConfig:
             value = getattr(self, name)
             if value <= 0:
                 raise ValueError(f"{name} must be positive, got {value}")
-        if self.republish_interval is not None and self.republish_interval <= 0:
-            raise ValueError(
-                f"republish_interval must be positive or None, got {self.republish_interval}"
-            )
-        if self.replication < 1:
-            raise ValueError(f"replication must be >= 1, got {self.replication}")
-        if self.max_queries < 1:
-            raise ValueError(f"max_queries must be >= 1, got {self.max_queries}")
-        if self.max_providers < 1:
-            raise ValueError(f"max_providers must be >= 1, got {self.max_providers}")
+        for name in ("republish_interval", "expiry_sweep_interval"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None, got {value}")
+        for name in ("replication", "max_queries", "max_providers", "bootstrap_count"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
         for name in ("per_hop_latency", "transfer_latency"):
             low, high = getattr(self, name)
             if low < 0 or high < low:
-                raise ValueError(f"{name} must satisfy 0 <= low <= high, got {low}/{high}")
+                raise ValueError(
+                    f"{name} must satisfy 0 <= low <= high, got {low}/{high}"
+                )
+        if self.block_size_classes is not None:
+            if not self.block_size_classes:
+                raise ValueError(
+                    "block_size_classes must be None or non-empty, got "
+                    f"{self.block_size_classes!r}"
+                )
+            for size, weight in self.block_size_classes:
+                if size <= 0:
+                    raise ValueError(
+                        f"block_size_classes sizes must be positive, got {size}"
+                    )
+                if weight <= 0:
+                    raise ValueError(
+                        f"block_size_classes weights must be positive, got "
+                        f"{weight} for size {size}"
+                    )
 
     def sweep_interval(self) -> float:
         """The effective expiry-sweep interval."""

@@ -75,6 +75,7 @@ def result_blob(result: ScenarioResult) -> dict:
         "adversary": _canonical(result.adversary),
         "netmodel": _canonical(result.netmodel),
         "faults": _canonical(result.faults),
+        "bandwidth": _canonical(result.bandwidth),
         "identity_keys": dict(sorted(result.identity_keys.items())),
         "population": len(result.population.profiles),
     }

@@ -61,6 +61,7 @@ from repro.faults.runtime import FaultRuntime
 from repro.netmodel.runtime import NetModelRuntime, WalkClock
 from repro.simulation.churn_models import HOUR, MINUTE
 from repro.simulation.engine import Engine, PeriodicTask
+from repro.simulation.fabric import FabricRuntime
 from repro.simulation.peerstate import PeerStateArrays
 from repro.simulation.population import PeerClass, PeerProfile, Population
 
@@ -123,6 +124,7 @@ class SimPeer:
         "attacker",
         "net",
         "flt",
+        "link",
         "_identify_cache",
     )
 
@@ -149,6 +151,8 @@ class SimPeer:
         self.net = None
         #: fault assignment (repro.faults), None on the fault-free fabric
         self.flt = None
+        #: bandwidth link (repro.bandwidth), None on the zero-size fabric
+        self.link = None
         #: memoised identify record, keyed on the mutable fields it depends on
         self._identify_cache: Optional[tuple] = None
         self.last_online_at = float("-inf")
@@ -271,31 +275,39 @@ class SimulatedNetwork:
         self._stable_server_peers: Optional[List[SimPeer]] = None
         #: set by AdversaryBehaviors.install(); observes honest record stores
         self.adversary_monitor = None
-        #: network-conditions runtime; None keeps the idealised fabric.  Peer
-        #: assignments are drawn here, in peer_index order, from the model's
-        #: own RNG stream — honest draws are untouched either way.
+        #: the pluggable fabric subsystems, in dispatch order (netmodel,
+        #: faults, bandwidth).  Every RPC / dial / contact / identify hook
+        #: point walks this list — adding a subsystem means implementing the
+        #: :class:`~repro.simulation.fabric.FabricRuntime` hooks, not editing
+        #: the fabric.  The named attributes below (``netmodel`` / ``faults``
+        #: / ``bandwidth``) expose the same runtimes for analysis and report
+        #: code that asks for one subsystem by name.
+        self.runtimes: List[FabricRuntime] = []
+        #: network-conditions runtime; None keeps the idealised fabric
         self.netmodel: Optional[NetModelRuntime] = None
+        #: fault-injection runtime; None keeps the fault-free fabric
+        self.faults: Optional[FaultRuntime] = None
+        #: data-plane bandwidth runtime; None keeps the zero-size fabric
+        self.bandwidth = None
         netcfg = population.config.netmodel
         if netcfg is not None:
-            self.netmodel = NetModelRuntime(netcfg, population.config.seed)
-            for peer in self.peers:
-                profile = peer.profile
-                peer.net = self.netmodel.assign_peer(
-                    behind_nat=profile.behind_nat,
-                    force_public=profile.is_hydra_head or profile.is_crawler,
-                )
-        #: fault-injection runtime; None keeps the fault-free fabric.  Same
-        #: discipline as the netmodel: assignments in peer_index order from
-        #: the fault stream, honest draws untouched either way.
-        self.faults: Optional[FaultRuntime] = None
+            self._attach_runtime(NetModelRuntime(netcfg, population.config.seed))
         faultcfg = population.config.faults
         if faultcfg is not None and faultcfg.enabled:
-            self.faults = FaultRuntime(faultcfg, population.config.seed, engine)
+            self._attach_runtime(FaultRuntime(faultcfg, population.config.seed, engine))
+        bwcfg = population.config.bandwidth
+        if bwcfg is not None:
+            from repro.bandwidth.runtime import BandwidthRuntime
+
+            self._attach_runtime(BandwidthRuntime(bwcfg, population.config.seed))
+        # Per-runtime peer assignments, each pass over all peers in peer_index
+        # order from the runtime's own salted RNG stream — honest draws are
+        # untouched either way, and attaching one subsystem never shifts
+        # another's stream.
+        for runtime in self.runtimes:
+            slot = runtime.slot
             for peer in self.peers:
-                profile = peer.profile
-                peer.flt = self.faults.assign_peer(
-                    exempt=profile.is_hydra_head or profile.is_crawler
-                )
+                setattr(peer, slot, runtime.assign_peer(peer.profile))
         #: struct-of-arrays peer state, built at start() on a vectorized
         #: engine (kad-key limbs, role/region/fault codes, session timers)
         self.state: Optional[PeerStateArrays] = None
@@ -304,6 +316,10 @@ class SimulatedNetwork:
         self._started = False
 
     # ------------------------------------------------------------------ setup ----
+
+    def _attach_runtime(self, runtime: FabricRuntime) -> None:
+        self.runtimes.append(runtime)
+        setattr(self, runtime.name, runtime)
 
     def add_measurement_identity(self, identity: MeasurementIdentity) -> None:
         if self._started:
@@ -317,9 +333,9 @@ class SimulatedNetwork:
             raise RuntimeError("network already started")
         self._started = True
         self._duration = duration
-        if self.netmodel is not None:
+        for runtime in self.runtimes:
             for identity in self.identities:
-                self.netmodel.assign_identity(identity.label)
+                runtime.assign_identity(identity.label)
         if getattr(self.engine, "vectorized", False):
             self.state = PeerStateArrays.from_network(self)
         self._build_routing_tables()
@@ -366,8 +382,8 @@ class SimulatedNetwork:
         else:
             for peer in self.peers:
                 self._schedule_initial_session(peer, duration)
-        if self.faults is not None:
-            self.faults.install(self, duration)
+        for runtime in self.runtimes:
+            runtime.install(self, duration)
 
     def _build_routing_tables(self) -> None:
         """Seed each simulated DHT-Server's routing table with other servers."""
@@ -564,27 +580,27 @@ class SimulatedNetwork:
         now = self.engine.now
         if not peer.online:
             return
-        if self.faults is not None and self.faults.contact_blocked(peer.flt):
-            # The split cuts this peer off from every vantage point; try
-            # again just past the scheduled heal (spread by the fault RNG so
-            # the minority's reconnects do not stampede).
-            self.engine.schedule_drop(
-                self.faults.contact_retry_delay(), self._attempt_contact, peer, identity
-            )
-            return
+        for runtime in self.runtimes:
+            retry = runtime.on_contact(peer)
+            if retry is not None:
+                # A runtime vetoed the contact (e.g. a partition cuts this
+                # peer off from every vantage point) and named the retry
+                # delay; try again then.
+                self.engine.schedule_drop(retry, self._attempt_contact, peer, identity)
+                return
         if identity.label in peer.connections and peer.connections[identity.label].is_open:
             return
         conn = identity.node.handle_inbound_connection(peer.current_pid, peer.dial_addr(), now)
         peer.connections[identity.label] = conn
         self.peers_by_pid[peer.current_pid] = peer
-        if self.faults is not None:
-            self.faults.note_contact(peer.flt)
+        for runtime in self.runtimes:
+            runtime.note_contact_made(peer)
         if peer.agent is not None and self.rng.random() < self.config.identify_success:
             delay = self.rng.uniform(0.5, 5.0)
-            if self.netmodel is not None:
-                # Identify is a request/response exchange: one round trip on
-                # top of the processing delay (riding the same event heap).
-                delay += self.netmodel.identity_rtt(identity.label, peer.net)
+            for runtime in self.runtimes:
+                # Wire time of the identify exchange (round trips, payload
+                # serialization) rides the same event heap.
+                delay += runtime.identify_delay(identity.label, peer)
             self.engine.schedule_drop(delay, self._deliver_identify, peer, identity)
         self._plan_connection_end(peer, identity, conn)
 
@@ -691,22 +707,19 @@ class SimulatedNetwork:
             return
         batch = min(self.config.outbound_dial_batch, len(dialable))
         for peer in self.rng.sample(dialable, batch):
-            if self.netmodel is not None and not self.netmodel.dial(peer.net):
-                # The measurement node cannot dial through the peer's NAT;
-                # the attempt is counted, no connection is recorded.
-                continue
-            if self.faults is not None and self.faults.dial_blocked(peer.flt):
-                # The peer sits on the unreachable side of a partition.
+            if not all(runtime.on_dial(peer) for runtime in self.runtimes):
+                # A runtime vetoed the dial (NAT, partition, ...); the attempt
+                # is counted by the vetoing runtime, no connection is recorded.
                 continue
             conn = identity.node.dial(peer.current_pid, peer.dial_addr(), now)
             peer.connections[identity.label] = conn
             self.peers_by_pid[peer.current_pid] = peer
-            if self.faults is not None:
-                self.faults.note_contact(peer.flt)
+            for runtime in self.runtimes:
+                runtime.note_contact_made(peer)
             if peer.agent is not None and self.rng.random() < self.config.identify_success:
                 delay = self.rng.uniform(0.5, 5.0)
-                if self.netmodel is not None:
-                    delay += self.netmodel.identity_rtt(identity.label, peer.net)
+                for runtime in self.runtimes:
+                    delay += runtime.identify_delay(identity.label, peer)
                 self.engine.schedule_drop(delay, self._deliver_identify, peer, identity)
             # Outbound connections are valued even less by the remote side: we
             # dialled them, they did not ask for us.
@@ -740,12 +753,9 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
-        if self.netmodel is not None and not self.netmodel.dial(peer.net):
-            return None
-        if self.faults is not None and not self.faults.deliver(
-            src.flt if src is not None else None, peer.flt
-        ):
-            return None
+        for runtime in self.runtimes:
+            if not runtime.on_rpc(src, peer):
+                return None
         return self._answer_find_node(peer, target, count)
 
     def _answer_find_node(
@@ -792,12 +802,9 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
-        if self.netmodel is not None and not self.netmodel.dial(peer.net):
-            return None
-        if self.faults is not None and not self.faults.deliver(
-            src.flt if src is not None else None, peer.flt
-        ):
-            return None
+        for runtime in self.runtimes:
+            if not runtime.on_rpc(src, peer):
+                return None
         return self._answer_add_provider(peer, key, provider, ttl)
 
     def _answer_add_provider(
@@ -827,12 +834,9 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
-        if self.netmodel is not None and not self.netmodel.dial(peer.net):
-            return None
-        if self.faults is not None and not self.faults.deliver(
-            src.flt if src is not None else None, peer.flt
-        ):
-            return None
+        for runtime in self.runtimes:
+            if not runtime.on_rpc(src, peer):
+                return None
         return self._answer_get_providers(peer, key, count)
 
     def _answer_get_providers(
@@ -878,12 +882,8 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
-        if not clock.dial(peer.net):
-            return None
-        rtt = clock.charge(peer.net)
-        if self.faults is not None:
-            clock.elapsed += self.faults.slow_penalty(peer.flt, rtt)
-            if not self.faults.deliver(src.flt if src is not None else None, peer.flt):
+        for runtime in self.runtimes:
+            if not runtime.on_timed_rpc(clock, src, peer):
                 return None
         return peer
 

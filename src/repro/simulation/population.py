@@ -30,6 +30,7 @@ from repro.kademlia.dht import DHTMode
 
 if TYPE_CHECKING:  # pragma: no cover - type-only (profiles are built lazily)
     from repro.adversary.config import AdversaryConfig
+    from repro.bandwidth.config import BandwidthConfig
     from repro.faults.config import FaultConfig
     from repro.netmodel.config import NetModelConfig
 from repro.libp2p.multiaddr import random_public_ipv4
@@ -217,6 +218,11 @@ class PopulationConfig:
     #: default, injects nothing and draws nothing from any RNG, so every
     #: pre-existing fixed-seed golden stays byte-identical
     faults: Optional["FaultConfig"] = None
+    #: data-plane bandwidth model (per-peer link classes, block sizes,
+    #: transmit queues); ``None``, the default, keeps the zero-size fabric
+    #: and draws nothing from any RNG, so every pre-existing fixed-seed
+    #: golden stays byte-identical
+    bandwidth: Optional["BandwidthConfig"] = None
 
     def __post_init__(self) -> None:
         if self.n_peers <= 0:

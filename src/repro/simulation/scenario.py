@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bandwidth -> fabric)
+    from repro.bandwidth.runtime import BandwidthStats
 
 from repro.adversary.behaviors import AdversaryBehaviors, AttackStats
 from repro.core.records import MeasurementDataset
@@ -122,6 +125,8 @@ class ScenarioResult:
     netmodel: Optional[NetModelStats] = None
     #: fault-injection ground truth (None on the fault-free fabric)
     faults: Optional[FaultStats] = None
+    #: data-plane ground truth (None on the zero-size fabric)
+    bandwidth: Optional[BandwidthStats] = None
     #: base58 PID per measurement identity label (analysis needs the vantage
     #: point's keyspace position, e.g. for neighbourhood-density estimates)
     identity_keys: Dict[str, str] = field(default_factory=dict)
@@ -278,6 +283,11 @@ class Scenario:
             ),
             faults=(
                 self.network.faults.stats if self.network.faults is not None else None
+            ),
+            bandwidth=(
+                self.network.bandwidth.finalize(config.duration)
+                if self.network.bandwidth is not None
+                else None
             ),
             identity_keys={
                 identity.label: str(identity.peer_id) for identity in self.identities

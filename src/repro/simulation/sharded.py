@@ -183,6 +183,7 @@ def merge_shard_results(config, results: Sequence) -> "ScenarioResult":  # noqa:
         adversary=None,
         netmodel=merge_stats([r.netmodel for r in results]),
         faults=merge_stats([r.faults for r in results]),
+        bandwidth=merge_stats([r.bandwidth for r in results]),
         # Keyspace positions are per-fabric; report the first shard's vantage
         # points (analyses needing all of them can rerun shard_configs()).
         identity_keys=dict(results[0].identity_keys),
@@ -238,7 +239,9 @@ def merge_datasets(shards: Sequence[MeasurementDataset], label: str) -> Measurem
 
 
 #: dataclass fields that are configured bounds, not measurements — first wins
-_BOUND_FIELDS = frozenset({"max_rtt_samples", "max_events"})
+_BOUND_FIELDS = frozenset(
+    {"max_rtt_samples", "max_events", "max_transfer_samples", "max_utilization_samples"}
+)
 
 
 def merge_stats(stats: Sequence[Optional[T]]) -> Optional[T]:

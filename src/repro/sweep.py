@@ -45,10 +45,12 @@ from repro.analysis.sweep_report import (
     render_aggregate,
 )
 from repro.analysis.tables import TextTable
+from repro.analysis.transfer_report import transfer_metrics
 from repro.core.churn import connection_statistics, trim_share
 from repro.experiments.runner import run_cells
 from repro.perf import dataset_counts
 from repro.scenarios import run_scenario_by_name, scenario, scenarios
+from repro.scenarios.registry import UnknownOverrideError
 
 #: default output directory of sweep artifacts
 DEFAULT_OUT_DIR = "sweep_out"
@@ -92,11 +94,36 @@ def _parse_int_list(text: str, flag: str) -> List[int]:
         raise argparse.ArgumentTypeError(f"invalid {flag} list: {text!r}") from None
 
 
+def parse_override(text: str) -> Tuple[str, object]:
+    """Parse one ``--set key=value`` pair.
+
+    Values are coerced ``int`` → ``float`` → ``bool`` (``true``/``false``) →
+    string, in that order, so ``--set uplink_scale=0.25`` reaches the builder
+    as a float and ``--set retry=false`` as a bool.
+    """
+    key, separator, raw = text.partition("=")
+    key = key.strip()
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"invalid --set {text!r} (expected key=value, e.g. uplink_scale=0.25)"
+        )
+    raw = raw.strip()
+    for cast in (int, float):
+        try:
+            return key, cast(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return key, raw.lower() == "true"
+    return key, raw
+
+
 def summarize_cell(
     name: str,
     n_peers: Optional[int],
     duration_days: Optional[float],
     seed: int,
+    overrides: Optional[Dict] = None,
 ) -> Dict:
     """Run one sweep cell and reduce it to a deterministic summary dict.
 
@@ -107,11 +134,20 @@ def summarize_cell(
     spec = scenario(name)
     peers = n_peers if n_peers is not None else spec.default_peers
     days = duration_days if duration_days is not None else spec.default_duration_days
-    result = run_scenario_by_name(name, n_peers=peers, duration_days=days, seed=seed)
-    return summarize_result(spec.name, peers, days, seed, result)
+    result = run_scenario_by_name(
+        name, n_peers=peers, duration_days=days, seed=seed, overrides=overrides
+    )
+    return summarize_result(spec.name, peers, days, seed, result, overrides=overrides)
 
 
-def summarize_result(name: str, n_peers: int, duration_days: float, seed: int, result) -> Dict:
+def summarize_result(
+    name: str,
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    result,
+    overrides: Optional[Dict] = None,
+) -> Dict:
     """Reduce an already-run :class:`ScenarioResult` to a cell summary dict
     (benchmarks reuse this so cached results are not re-simulated)."""
     churn: Dict[str, Dict[str, float]] = {}
@@ -133,6 +169,7 @@ def summarize_result(name: str, n_peers: int, duration_days: float, seed: int, r
         "n_peers": n_peers,
         "duration_days": duration_days,
         "seed": seed,
+        "overrides": dict(sorted(overrides.items())) if overrides else {},
         "events_processed": result.events_processed,
         "version_changes": result.version_changes,
         "role_flips": result.role_flips,
@@ -145,6 +182,7 @@ def summarize_result(name: str, n_peers: int, duration_days: float, seed: int, r
         "adversary": attack_metrics(result),
         "netmodel": reachability_metrics(result),
         "resilience": resilience_metrics(result),
+        "bandwidth": transfer_metrics(result),
     }
 
 
@@ -153,6 +191,7 @@ def summarize_cell_safe(
     n_peers: Optional[int],
     duration_days: Optional[float],
     seed: int,
+    overrides: Optional[Dict] = None,
 ) -> Dict:
     """Run one cell, catching failures so one bad cell cannot sink a sweep.
 
@@ -161,7 +200,7 @@ def summarize_cell_safe(
     the process pool can ship it to workers by reference.
     """
     try:
-        return summarize_cell(name, n_peers, duration_days, seed)
+        return summarize_cell(name, n_peers, duration_days, seed, overrides)
     except Exception as exc:  # noqa: BLE001 - any cell failure must be reported
         return {
             "scenario": name,
@@ -181,12 +220,19 @@ MANIFEST_NAME = "sweep_manifest.json"
 MANIFEST_SCHEMA = "repro-sweep-manifest/1"
 
 
-def cell_key(name: str, n_peers: int, duration_days: float, seed: int) -> str:
+def cell_key(
+    name: str,
+    n_peers: int,
+    duration_days: float,
+    seed: int,
+    overrides: Optional[Dict] = None,
+) -> str:
     """Content address of one sweep cell.
 
     A hash over everything that determines the cell's result: the resolved
-    scenario coordinates plus the cell schema version, so cells written by an
-    older summary format are never reused by ``--resume``.
+    scenario coordinates, the builder overrides, plus the cell schema
+    version, so cells written by an older summary format (or under different
+    ``--set`` values) are never reused by ``--resume``.
     """
     payload = {
         "schema": CELL_SCHEMA,
@@ -194,6 +240,7 @@ def cell_key(name: str, n_peers: int, duration_days: float, seed: int) -> str:
         "n_peers": n_peers,
         "duration_days": duration_days,
         "seed": seed,
+        "overrides": dict(sorted(overrides.items())) if overrides else {},
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -202,7 +249,11 @@ def cell_key(name: str, n_peers: int, duration_days: float, seed: int) -> str:
 
 
 def _resolve_cell(
-    name: str, n_peers: Optional[int], duration_days: Optional[float], seed: int
+    name: str,
+    n_peers: Optional[int],
+    duration_days: Optional[float],
+    seed: int,
+    overrides: Optional[Dict] = None,
 ) -> Dict:
     """One planned cell with its defaults resolved, filename, and key."""
     spec = scenario(name)
@@ -213,8 +264,9 @@ def _resolve_cell(
         "n_peers": peers,
         "duration_days": days,
         "seed": seed,
+        "overrides": dict(sorted(overrides.items())) if overrides else {},
         "file": f"{spec.name}__n{peers}__s{seed}.json",
-        "key": cell_key(spec.name, peers, days, seed),
+        "key": cell_key(spec.name, peers, days, seed, overrides),
     }
 
 
@@ -274,6 +326,7 @@ def run_sweep(
     workers: Optional[int] = None,
     force: bool = False,
     resume: bool = False,
+    overrides: Optional[Dict] = None,
 ) -> Tuple[List[Dict], List[Dict]]:
     """Run the cartesian sweep and write all artifacts into ``out_dir``.
 
@@ -291,9 +344,11 @@ def run_sweep(
     produces byte-identical artifacts to an uninterrupted one.
     """
     for name in scenario_names:
-        scenario(name)  # fail fast on unknown names, before any simulation
+        # Fail fast on unknown names and unknown override keys (the shared
+        # ScenarioSpec validation), before any simulation.
+        scenario(name).validate_overrides(overrides)
     planned = [
-        _resolve_cell(name, peers, duration_days, seed)
+        _resolve_cell(name, peers, duration_days, seed, overrides)
         for name in scenario_names
         for peers in peers_list
         for seed in seeds
@@ -325,6 +380,7 @@ def run_sweep(
             planned[index]["n_peers"],
             planned[index]["duration_days"],
             planned[index]["seed"],
+            planned[index]["overrides"],
         )
         for index in todo
     ]
@@ -400,6 +456,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--set", dest="overrides", action="append", type=parse_override,
+        default=[], metavar="KEY=VALUE",
+        help=(
+            "override a scenario builder knob (repeatable), e.g. "
+            "--set uplink_scale=0.25 --set size_scale=4; unknown keys are "
+            "rejected with the scenario's known keys"
+        ),
+    )
+    parser.add_argument(
         "--out", default=DEFAULT_OUT_DIR,
         help=f"output directory for the JSON/table artifacts (default: {DEFAULT_OUT_DIR})",
     )
@@ -458,13 +523,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("need at least one scenario and one seed")
     if args.force and args.resume:
         parser.error("--force and --resume are mutually exclusive")
+    overrides: Dict[str, object] = dict(args.overrides)
 
     try:
         summaries, failures = run_sweep(
             names, seeds, peers_list, args.duration, args.out,
             workers=args.workers, force=args.force, resume=args.resume,
+            overrides=overrides,
         )
-    except SweepOutputError as exc:
+    except (SweepOutputError, UnknownOverrideError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_aggregate(summaries, failures), end="")

@@ -39,10 +39,20 @@ STRESS_NAMES = [
     "crawler-vs-passive-under-burst",
 ]
 
+BANDWIDTH_NAMES = [
+    "flash-crowd-large-blocks",
+    "bandwidth-starved-relays",
+    "provider-hotspot",
+    "mixed-size-catalog",
+]
+
 CONTENT_NAMES = [
     "provide-churn",
     "retrieval-flash-crowd",
     "provider-record-expiry",
+    # The data-plane scenarios exercise the content subsystem too, so they
+    # carry both tags.
+    *BANDWIDTH_NAMES,
 ]
 
 ADVERSARY_NAMES = [
@@ -80,6 +90,9 @@ class TestRegistry:
 
     def test_all_adversary_scenarios_registered(self):
         assert scenario_names("adversary") == ADVERSARY_NAMES
+
+    def test_all_bandwidth_scenarios_registered(self):
+        assert scenario_names("bandwidth") == BANDWIDTH_NAMES
 
     def test_all_netmodel_scenarios_registered(self):
         assert scenario_names("netmodel") == NETMODEL_NAMES
@@ -209,6 +222,10 @@ class TestGoldenEventCounts:
         "partition-heal": {"events": 534, "connections": 42},
         "crash-storm": {"events": 835, "connections": 47},
         "slow-node-tail": {"events": 516, "connections": 26},
+        "flash-crowd-large-blocks": {"events": 1213, "connections": 40},
+        "bandwidth-starved-relays": {"events": 683, "connections": 26},
+        "provider-hotspot": {"events": 1040, "connections": 36},
+        "mixed-size-catalog": {"events": 712, "connections": 36},
     }
 
     def test_golden_covers_the_whole_catalog(self):
