@@ -1,0 +1,37 @@
+"""Reduction of a run's streaming-metrics summary for sweep artifacts.
+
+The sweep CLI embeds one ``metrics`` block per cell summary when the cell ran
+with ``--metrics``; the full window-by-window time series lives in the cell's
+``*__metrics.jsonl`` file, so the embedded block keeps only the run totals
+and a short tail of recent windows.  Like every other report module this is
+deterministic: same run, same block, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: windows embedded verbatim into a cell summary (the full series lives in
+#: the cell's metrics.jsonl; the embedded block keeps only this tail)
+EMBED_WINDOWS = 6
+
+
+def metrics_metrics(result, embed_windows: int = EMBED_WINDOWS) -> Optional[Dict]:
+    """Reduce ``result.metrics`` (a :class:`~repro.obs.hub.MetricsSummary`)
+    to a plain cell-summary block.
+
+    Returns ``None`` when the run had metrics disabled (``population.obs``
+    unset), so cells without ``--metrics`` carry ``"metrics": null`` and stay
+    cheap to aggregate.
+    """
+    summary = getattr(result, "metrics", None)
+    if summary is None:
+        return None
+    return {
+        "window_seconds": summary.window_seconds,
+        "windows_closed": summary.windows_closed,
+        "windows_dropped": summary.windows_dropped,
+        "observations": summary.observations,
+        "counters": dict(sorted(summary.counters.items())),
+        "recent_windows": list(summary.windows[-embed_windows:]),
+    }

@@ -20,8 +20,8 @@ from repro.analysis.resilience_report import resilience_headline
 from repro.analysis.tables import TextTable, format_count
 from repro.analysis.transfer_report import transfer_headline
 
-#: schema tags of the sweep artifacts (cell /2: overrides + bandwidth blocks)
-CELL_SCHEMA = "repro-sweep-cell/2"
+#: schema tags of the sweep artifacts (cell /3: streaming-metrics block)
+CELL_SCHEMA = "repro-sweep-cell/3"
 SWEEP_SCHEMA = "repro-sweep/1"
 
 
@@ -82,6 +82,14 @@ def aggregate_payload(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) 
         ),
         "bytes_transferred": sum(
             s["bandwidth"]["bytes_transferred"] for s in summaries if s.get("bandwidth")
+        ),
+        # Cells run without --metrics carry "metrics": null; older cell JSON
+        # predates the block entirely, hence the defensive .get.
+        "metric_windows": sum(
+            s["metrics"]["windows_closed"] for s in summaries if s.get("metrics")
+        ),
+        "metric_observations": sum(
+            s["metrics"]["observations"] for s in summaries if s.get("metrics")
         ),
     }
     return {
@@ -180,6 +188,11 @@ def render_aggregate(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) -
         )
     if totals["transfer_timeouts"]:
         totals_line += f", {format_count(totals['transfer_timeouts'])} transfer timeouts"
+    if totals["metric_windows"]:
+        totals_line += (
+            f", {format_count(totals['metric_observations'])} metric observations "
+            f"in {format_count(totals['metric_windows'])} windows"
+        )
     lines.append(totals_line)
     for failure in failures:
         lines.append(

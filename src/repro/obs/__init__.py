@@ -1,0 +1,41 @@
+"""Streaming observability: live counters/gauges/histograms over the fabric.
+
+The source paper is a measurement study — this package is the reproduction
+measuring *itself* while it runs, instead of post-hoc over a finished
+in-memory result:
+
+* :mod:`repro.obs.hub` — :class:`MetricsHub`: named instruments, a
+  deterministic windowing clock, canonical JSONL export, a bounded in-memory
+  ring buffer, and live window subscribers.
+* :mod:`repro.obs.runtime` — :class:`MetricsRuntime`: attaches the hub to the
+  fabric through the :class:`~repro.simulation.fabric.FabricRuntime` protocol
+  (dials, RPCs, contacts, identify exchanges) plus windowed deltas of the
+  sibling runtimes' totals.
+* :mod:`repro.obs.trace` — wall-clock run tracing on the engines' progress
+  hooks (stderr only; never part of the deterministic artifacts).
+
+Enable by setting ``PopulationConfig.obs`` to an :class:`ObsConfig`; the
+default ``None`` keeps every pre-existing fixed-seed golden byte-identical.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.hub import (
+    DEFAULT_TIME_BUCKETS,
+    METRICS_SCHEMA,
+    MetricsHub,
+    MetricsSummary,
+    merge_summaries,
+    render_line,
+    write_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "METRICS_SCHEMA",
+    "MetricsHub",
+    "MetricsSummary",
+    "ObsConfig",
+    "merge_summaries",
+    "render_line",
+    "write_jsonl",
+]

@@ -1,0 +1,36 @@
+"""Configuration of the streaming observability subsystem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Tunables of the streaming metrics pipeline (:mod:`repro.obs`).
+
+    Attached at ``PopulationConfig.obs``; ``None`` (the default) runs without
+    metrics, draws nothing from any RNG, and schedules nothing, so every
+    pre-existing fixed-seed golden stays byte-identical.
+    """
+
+    #: window width in simulated seconds (one metrics.jsonl line per window)
+    window: float = 300.0
+    #: closed windows kept in the in-memory ring buffer (older ones are
+    #: dropped from memory once flushed — bounded memory at any horizon)
+    ring_capacity: int = 288
+    #: stream every closed window to this JSONL file (None: in-memory only)
+    jsonl_path: Optional[str] = None
+    #: keep *every* closed window in memory regardless of ``ring_capacity``
+    #: (sharded mode sets this on the per-shard configs so the merge sees
+    #: complete per-shard series; unbounded — leave off for long runs)
+    retain_windows: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.ring_capacity < 1:
+            raise ValueError(
+                f"ring_capacity must be >= 1, got {self.ring_capacity}"
+            )

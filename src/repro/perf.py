@@ -28,6 +28,18 @@ from typing import Dict, List, Optional
 #: file name of the core perf snapshot at the repo root
 DEFAULT_SNAPSHOT_NAME = "BENCH_core.json"
 
+#: schema tag written into (and expected from) core perf snapshots
+SNAPSHOT_SCHEMA = "repro-bench-core/1"
+
+
+class SnapshotSchemaError(ValueError):
+    """A perf snapshot file is missing its schema tag or carries the wrong one.
+
+    Raised by :func:`load_snapshot` with the offending path and the
+    found/expected schemas in the message, instead of letting downstream
+    comparison code ``KeyError`` on foreign JSON.
+    """
+
 
 @dataclass(frozen=True)
 class PeriodPerf:
@@ -117,7 +129,7 @@ def snapshot_payload(perfs: List[PeriodPerf], note: str = "") -> dict:
     total_wall = sum(p.wall_seconds for p in perfs)
     total_events = sum(p.events_processed for p in perfs)
     return {
-        "schema": "repro-bench-core/1",
+        "schema": SNAPSHOT_SCHEMA,
         "note": note,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
@@ -139,7 +151,27 @@ def write_snapshot(path: str, perfs: List[PeriodPerf], note: str = "") -> dict:
     return payload
 
 
-def load_snapshot(path: str) -> dict:
-    """Read a snapshot written by :func:`write_snapshot`."""
+def load_snapshot(path: str, expected_schema: Optional[str] = SNAPSHOT_SCHEMA) -> dict:
+    """Read a snapshot written by :func:`write_snapshot`.
+
+    Validates the ``schema`` field so a foreign/stale JSON file fails with a
+    clear :class:`SnapshotSchemaError` naming the file and the found/expected
+    schemas.  Pass ``expected_schema=None`` to skip the exact-match check
+    (the field must still exist); pass another tag to validate a different
+    snapshot family (e.g. the scaling benchmark's).
+    """
     with open(path) as handle:
-        return json.load(handle)
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "schema" not in payload:
+        expectation = expected_schema if expected_schema is not None else "a repro-bench tag"
+        raise SnapshotSchemaError(
+            f"{path}: not a perf snapshot — missing 'schema' field "
+            f"(expected {expectation!r})"
+        )
+    found = payload["schema"]
+    if expected_schema is not None and found != expected_schema:
+        raise SnapshotSchemaError(
+            f"{path}: snapshot schema {found!r} does not match expected "
+            f"{expected_schema!r}"
+        )
+    return payload

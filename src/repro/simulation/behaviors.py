@@ -115,6 +115,8 @@ class MetadataBehaviors:
             return
         peer.agent = new_agent
         self.version_changes_applied += 1
+        if self.network.obs is not None:
+            self.network.obs.hub.inc("meta.version_change", self.engine.now)
         self.network.push_identify(peer)
 
     # -- role flips -----------------------------------------------------------------------
@@ -128,6 +130,8 @@ class MetadataBehaviors:
     def _apply_role_flip(self, peer: SimPeer, duration: float) -> None:
         peer.kad_announced = not peer.kad_announced
         self.role_flips_applied += 1
+        if self.network.obs is not None:
+            self.network.obs.hub.inc("meta.role_flip", self.engine.now)
         self.network.push_identify(peer)
         self._schedule_role_flip(peer, duration)
 
@@ -142,6 +146,8 @@ class MetadataBehaviors:
     def _apply_autonat_flip(self, peer: SimPeer, duration: float) -> None:
         peer.autonat_announced = not peer.autonat_announced
         self.autonat_flips_applied += 1
+        if self.network.obs is not None:
+            self.network.obs.hub.inc("meta.autonat_flip", self.engine.now)
         self.network.push_identify(peer)
         self._schedule_autonat_flip(peer, duration)
 
@@ -301,6 +307,13 @@ class ContentBehaviors:
             stats.provide_hops.append(result.hops)
             stats.provide_latencies.append(latency)
         stats.records_stored += len(result.stored_on)
+        if network.obs is not None:
+            now = self.engine.now
+            network.obs.hub.inc(
+                "content.republish" if republish else "content.provide", now
+            )
+            if not republish:
+                network.obs.hub.observe("content.provide_seconds", now, latency)
         if config.republish_interval is not None:
             if self.engine.now + config.republish_interval <= self._duration:
                 self.engine.schedule_drop(
@@ -436,7 +449,12 @@ class ContentBehaviors:
                 if plan is not None:
                     # Real data plane: RTT + queueing + serialization, and the
                     # links stay busy for everyone behind us.
-                    latency += bandwidth.commit_transfer(self.engine.now, plan)
+                    transfer_seconds = bandwidth.commit_transfer(self.engine.now, plan)
+                    latency += transfer_seconds
+                    if network.obs is not None:
+                        network.obs.hub.observe(
+                            "bandwidth.transfer_seconds", self.engine.now, transfer_seconds
+                        )
                 else:
                     latency += self.rng.uniform(*config.transfer_latency)
                     if network.netmodel is not None:
@@ -457,3 +475,9 @@ class ContentBehaviors:
                 stats.second_half_successes += 1
         stats.retrieve_hops.append(result.hops)
         stats.retrieve_latencies.append(latency)
+        if network.obs is not None:
+            now = self.engine.now
+            network.obs.hub.inc(
+                "content.retrieve_ok" if success else "content.retrieve_fail", now
+            )
+            network.obs.hub.observe("content.retrieve_seconds", now, latency)

@@ -70,6 +70,31 @@ class Engine:
         #: cancelled events still sitting in the heap (popped lazily)
         self._cancelled_pending = 0
         self.events_processed = 0
+        # Progress hook (repro.obs.trace): when set, the drain loop invokes the
+        # callback every `_progress_every` processed events.  The unset cost is
+        # one falsy check per event.
+        self._progress_callback: Optional[Callable[[float, int, int], None]] = None
+        self._progress_every = 0
+        self._progress_next = 0
+
+    def set_progress(
+        self, callback: Optional[Callable[[float, int, int], None]], every: int = 20_000
+    ) -> None:
+        """Invoke ``callback(now, events_processed, pending)`` every ``every``
+        drained events (run tracing); ``callback=None`` detaches the hook."""
+        if callback is None:
+            self._progress_callback = None
+            self._progress_every = 0
+            return
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._progress_callback = callback
+        self._progress_every = every
+        self._progress_next = self.events_processed + every
+
+    def _emit_progress(self) -> None:
+        self._progress_next = self.events_processed + self._progress_every
+        self._progress_callback(self._now, self.events_processed, self.pending())
 
     @property
     def now(self) -> float:
@@ -138,6 +163,8 @@ class Engine:
             self._now = time
             self.events_processed += 1
             event.callback(*event.args)
+            if self._progress_every and self.events_processed >= self._progress_next:
+                self._emit_progress()
 
     def run_until(self, end_time: float) -> None:
         """Process events with ``time <= end_time``; leaves ``now == end_time``."""

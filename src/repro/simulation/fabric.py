@@ -30,6 +30,8 @@ The hook surface, in fabric call order:
   simulated wire time.
 * :meth:`identify_delay` — extra seconds an identify exchange spends on the
   wire (RTT, payload serialization); rides the existing event heap.
+* :meth:`on_identify_delivered` — an identify record actually reached a
+  vantage point (initial exchange or identify-push); pure notification.
 
 Hooks receive ``SimPeer`` objects and read their own slot
 (``peer.net`` / ``peer.flt`` / ``peer.link``); a ``None`` source peer stands
@@ -111,3 +113,7 @@ class FabricRuntime:
         """Extra seconds the identify exchange with ``peer`` spends on the
         wire (added to the scheduled delivery's event-heap delay)."""
         return 0.0
+
+    def on_identify_delivered(self, label: str, peer: "SimPeer") -> None:
+        """An identify record from ``peer`` reached the identity labelled
+        ``label`` (initial exchange or identify-push); default: ignore."""

@@ -122,6 +122,7 @@ class SimPeer:
         "provider_store",
         "bitswap",
         "attacker",
+        "obs",
         "net",
         "flt",
         "link",
@@ -147,6 +148,10 @@ class SimPeer:
         self.bitswap: Optional[BitswapEngine] = None
         #: malicious response behaviour (repro.adversary), None for honest peers
         self.attacker = None
+        #: observability assignment (repro.obs), always None — the metrics
+        #: runtime keeps no per-peer state, the slot just satisfies the
+        #: fabric-runtime assignment pass
+        self.obs = None
         #: network conditions (repro.netmodel), None on the idealised fabric
         self.net = None
         #: fault assignment (repro.faults), None on the fault-free fabric
@@ -275,7 +280,7 @@ class SimulatedNetwork:
         self._stable_server_peers: Optional[List[SimPeer]] = None
         #: set by AdversaryBehaviors.install(); observes honest record stores
         self.adversary_monitor = None
-        #: the pluggable fabric subsystems, in dispatch order (netmodel,
+        #: the pluggable fabric subsystems, in dispatch order (obs, netmodel,
         #: faults, bandwidth).  Every RPC / dial / contact / identify hook
         #: point walks this list — adding a subsystem means implementing the
         #: :class:`~repro.simulation.fabric.FabricRuntime` hooks, not editing
@@ -283,12 +288,21 @@ class SimulatedNetwork:
         #: / ``bandwidth``) expose the same runtimes for analysis and report
         #: code that asks for one subsystem by name.
         self.runtimes: List[FabricRuntime] = []
+        #: streaming-metrics runtime; None runs without observability
+        self.obs = None
         #: network-conditions runtime; None keeps the idealised fabric
         self.netmodel: Optional[NetModelRuntime] = None
         #: fault-injection runtime; None keeps the fault-free fabric
         self.faults: Optional[FaultRuntime] = None
         #: data-plane bandwidth runtime; None keeps the zero-size fabric
         self.bandwidth = None
+        obscfg = population.config.obs
+        if obscfg is not None:
+            # Attached *first*: the metrics runtime must see every attempt
+            # before a sibling's veto ladder can end the dispatch loop early.
+            from repro.obs.runtime import MetricsRuntime
+
+            self._attach_runtime(MetricsRuntime(obscfg, engine))
         netcfg = population.config.netmodel
         if netcfg is not None:
             self._attach_runtime(NetModelRuntime(netcfg, population.config.seed))
@@ -609,6 +623,8 @@ class SimulatedNetwork:
         if conn is None or not conn.is_open:
             return
         identity.node.receive_identify(peer.current_pid, peer.identify_record(), self.engine.now)
+        for runtime in self.runtimes:
+            runtime.on_identify_delivered(identity.label, peer)
 
     def push_identify(self, peer: SimPeer) -> None:
         """Push an updated identify record to every identity the peer is connected to."""
@@ -623,6 +639,8 @@ class SimulatedNetwork:
                 identity.node.receive_identify(
                     peer.current_pid, peer.identify_record(), self.engine.now
                 )
+                for runtime in self.runtimes:
+                    runtime.on_identify_delivered(label, peer)
 
     def _plan_connection_end(
         self, peer: SimPeer, identity: MeasurementIdentity, conn: Connection
@@ -971,8 +989,10 @@ class SimulatedNetwork:
 
     def online_server_count(self) -> int:
         # Scans only the online subset; kad_announced can flip at runtime
-        # (role-flip behaviours), so the server property is not cached.
-        return sum(1 for p in self._online.values() if p.is_dht_server)
+        # (role-flip behaviours), so the server property is not cached.  The
+        # raw attribute (== is_dht_server) keeps the per-window metrics
+        # gauge scan off the property protocol.
+        return sum(1 for p in self._online.values() if p.kad_announced)
 
     def observed_pid_count(self) -> int:
         return sum(len(p.all_pids) for p in self.peers)

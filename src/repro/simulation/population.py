@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only (profiles are built lazily)
     from repro.bandwidth.config import BandwidthConfig
     from repro.faults.config import FaultConfig
     from repro.netmodel.config import NetModelConfig
+    from repro.obs.config import ObsConfig
 from repro.libp2p.multiaddr import random_public_ipv4
 from repro.libp2p.protocols import (
     crawler_protocols,
@@ -223,6 +224,11 @@ class PopulationConfig:
     #: and draws nothing from any RNG, so every pre-existing fixed-seed
     #: golden stays byte-identical
     bandwidth: Optional["BandwidthConfig"] = None
+    #: streaming observability (windowed counters/gauges/histograms emitted
+    #: during the run, JSONL export, ring buffer); ``None``, the default,
+    #: observes nothing, schedules nothing, and draws nothing from any RNG,
+    #: so every pre-existing fixed-seed golden stays byte-identical
+    obs: Optional["ObsConfig"] = None
 
     def __post_init__(self) -> None:
         if self.n_peers <= 0:

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bandwidth -> fabric)
     from repro.bandwidth.runtime import BandwidthStats
+    from repro.obs.hub import MetricsSummary
 
 from repro.adversary.behaviors import AdversaryBehaviors, AttackStats
 from repro.core.records import MeasurementDataset
@@ -127,6 +128,9 @@ class ScenarioResult:
     faults: Optional[FaultStats] = None
     #: data-plane ground truth (None on the zero-size fabric)
     bandwidth: Optional[BandwidthStats] = None
+    #: streaming-metrics digest: windowed counters/gauges/histograms plus the
+    #: retained window payloads (None when the scenario ran without obs)
+    metrics: Optional[MetricsSummary] = None
     #: base58 PID per measurement identity label (analysis needs the vantage
     #: point's keyspace position, e.g. for neighbourhood-density estimates)
     identity_keys: Dict[str, str] = field(default_factory=dict)
@@ -159,6 +163,14 @@ class Scenario:
             )
         self.config = config
         self.engine = make_engine(config.engine)
+        # REPRO_PROGRESS=1 prints per-simulated-hour liveness lines to stderr
+        # (wall-clock data never enters the deterministic artifacts).
+        from repro.obs.trace import maybe_trace
+
+        maybe_trace(
+            self.engine,
+            f"n={config.population.n_peers} seed={config.seed}",
+        )
         self.rng = random.Random(config.seed)
         self.population = generate_population(config.population, random.Random(config.seed + 10))
         self.network = SimulatedNetwork(
@@ -287,6 +299,11 @@ class Scenario:
             bandwidth=(
                 self.network.bandwidth.finalize(config.duration)
                 if self.network.bandwidth is not None
+                else None
+            ),
+            metrics=(
+                self.network.obs.finalize(config.duration)
+                if self.network.obs is not None
                 else None
             ),
             identity_keys={

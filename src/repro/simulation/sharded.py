@@ -38,6 +38,10 @@ Merge rules (also exercised by tests/test_sharded.py):
   summed field-wise; list fields concatenate, dict fields sum per key,
   optional floats take the max non-``None`` value, and ``max_*`` bounds are
   configuration rather than measurement and keep the first shard's value.
+* metrics (repro.obs) — every shard retains its complete window series;
+  same-index windows combine field-wise in shard order and the merged
+  ``metrics.jsonl`` is written once after the merge, so the streaming series
+  is byte-identical for every worker count.
 """
 
 from __future__ import annotations
@@ -85,9 +89,18 @@ def shard_configs(config) -> List:
             "adversarial configs on engine='vectorized' or 'legacy'"
         )
     sizes = shard_sizes(config.population.n_peers, config.engine_shards)
+    obs = config.population.obs
+    if obs is not None:
+        # Shards must not race for the shared JSONL file; each shard instead
+        # retains its complete window series in memory, and the merged series
+        # is written once by run_sharded_scenario.
+        obs = dataclasses.replace(obs, jsonl_path=None, retain_windows=True)
     configs = []
     for index, size in enumerate(sizes):
         seed = shard_seed(config.seed, index)
+        population = dataclasses.replace(config.population, n_peers=size, seed=seed)
+        if obs is not None:
+            population = dataclasses.replace(population, obs=obs)
         configs.append(
             dataclasses.replace(
                 config,
@@ -95,9 +108,7 @@ def shard_configs(config) -> List:
                 seed=seed,
                 # NetModelRuntime/FaultRuntime seed from population.config.seed,
                 # so the population seed must be derived per shard as well.
-                population=dataclasses.replace(
-                    config.population, n_peers=size, seed=seed
-                ),
+                population=population,
             )
         )
     return configs
@@ -141,7 +152,18 @@ def run_sharded_scenario(config, workers: Optional[int] = None):
     results: List[ScenarioResult] = run_cells(
         run_shard, [(cfg, index) for index, cfg in enumerate(configs)], workers=workers
     )
-    return merge_shard_results(config, results)
+    merged = merge_shard_results(config, results)
+    obs = config.population.obs
+    if obs is not None and merged.metrics is not None:
+        from repro.obs.hub import ring_tail, write_jsonl
+
+        if obs.jsonl_path is not None:
+            write_jsonl(merged.metrics.windows, obs.jsonl_path)
+        if not obs.retain_windows:
+            # The shards retained every window for the merge; bound the
+            # in-memory view back to what the caller's config asked for.
+            merged.metrics = ring_tail(merged.metrics, obs.ring_capacity)
+    return merged
 
 
 # -- merging ---------------------------------------------------------------------------
@@ -184,10 +206,22 @@ def merge_shard_results(config, results: Sequence) -> "ScenarioResult":  # noqa:
         netmodel=merge_stats([r.netmodel for r in results]),
         faults=merge_stats([r.faults for r in results]),
         bandwidth=merge_stats([r.bandwidth for r in results]),
+        metrics=_merge_metrics([r.metrics for r in results]),
         # Keyspace positions are per-fabric; report the first shard's vantage
         # points (analyses needing all of them can rerun shard_configs()).
         identity_keys=dict(results[0].identity_keys),
     )
+
+
+def _merge_metrics(metrics: Sequence) -> Optional["MetricsSummary"]:  # noqa: F821
+    """Merge per-shard window series (same-index windows combine field-wise
+    in shard order; see :func:`repro.obs.hub.merge_summaries`)."""
+    present = [m for m in metrics if m is not None]
+    if not present:
+        return None
+    from repro.obs.hub import merge_summaries
+
+    return merge_summaries(present)
 
 
 def merge_datasets(shards: Sequence[MeasurementDataset], label: str) -> MeasurementDataset:

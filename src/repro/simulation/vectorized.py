@@ -161,6 +161,8 @@ class VectorizedEngine(Engine):
                 self._now = bt
                 self.events_processed += 1
                 callback(payload)
+                if self._progress_every and self.events_processed >= self._progress_next:
+                    self._emit_progress()
                 continue
 
             time = heap[0][0]
@@ -173,6 +175,8 @@ class VectorizedEngine(Engine):
                 self._now = time
                 self.events_processed += 1
                 callback(*args)
+                if self._progress_every and self.events_processed >= self._progress_next:
+                    self._emit_progress()
                 continue
             event = entry[2]
             if event.cancelled:
@@ -182,3 +186,5 @@ class VectorizedEngine(Engine):
             self._now = time
             self.events_processed += 1
             event.callback(*event.args)
+            if self._progress_every and self.events_processed >= self._progress_next:
+                self._emit_progress()

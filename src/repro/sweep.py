@@ -29,14 +29,17 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import hashlib
 import json
 import os
 import sys
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.attack_report import attack_metrics
 from repro.analysis.content_report import content_metrics
+from repro.analysis.metrics_report import metrics_metrics
 from repro.analysis.reachability_report import reachability_metrics
 from repro.analysis.resilience_report import resilience_metrics
 from repro.analysis.sweep_report import (
@@ -44,13 +47,16 @@ from repro.analysis.sweep_report import (
     aggregate_payload,
     render_aggregate,
 )
-from repro.analysis.tables import TextTable
+from repro.analysis.tables import TextTable, format_count
 from repro.analysis.transfer_report import transfer_metrics
 from repro.core.churn import connection_statistics, trim_share
 from repro.experiments.runner import run_cells
+from repro.obs.config import ObsConfig
+from repro.obs.trace import PROGRESS_ENV
 from repro.perf import dataset_counts
 from repro.scenarios import run_scenario_by_name, scenario, scenarios
-from repro.scenarios.registry import UnknownOverrideError
+from repro.scenarios.registry import UnknownOverrideError, build_scenario_config
+from repro.simulation.scenario import run_scenario
 
 #: default output directory of sweep artifacts
 DEFAULT_OUT_DIR = "sweep_out"
@@ -124,19 +130,34 @@ def summarize_cell(
     duration_days: Optional[float],
     seed: int,
     overrides: Optional[Dict] = None,
+    metrics_window: Optional[float] = None,
+    metrics_path: Optional[str] = None,
 ) -> Dict:
     """Run one sweep cell and reduce it to a deterministic summary dict.
 
-    Module-level so the process pool can ship cells to workers by reference;
-    the full :class:`ScenarioResult` stays in the worker, only the summary
-    comes back.
+    With ``metrics_window`` set the cell runs with the streaming-metrics
+    runtime attached: the windowed time series goes to ``metrics_path``
+    (one JSONL line per closed window) and the summary gains a ``metrics``
+    block.  Module-level so the process pool can ship cells to workers by
+    reference; the full :class:`ScenarioResult` stays in the worker, only
+    the summary comes back.
     """
     spec = scenario(name)
     peers = n_peers if n_peers is not None else spec.default_peers
     days = duration_days if duration_days is not None else spec.default_duration_days
-    result = run_scenario_by_name(
-        name, n_peers=peers, duration_days=days, seed=seed, overrides=overrides
-    )
+    if metrics_window is None:
+        result = run_scenario_by_name(
+            name, n_peers=peers, duration_days=days, seed=seed, overrides=overrides
+        )
+    else:
+        config = build_scenario_config(
+            name, n_peers=peers, duration_days=days, seed=seed, overrides=overrides
+        )
+        obs = ObsConfig(window=metrics_window, jsonl_path=metrics_path)
+        config = dataclasses.replace(
+            config, population=dataclasses.replace(config.population, obs=obs)
+        )
+        result = run_scenario(config)
     return summarize_result(spec.name, peers, days, seed, result, overrides=overrides)
 
 
@@ -183,6 +204,7 @@ def summarize_result(
         "netmodel": reachability_metrics(result),
         "resilience": resilience_metrics(result),
         "bandwidth": transfer_metrics(result),
+        "metrics": metrics_metrics(result),
     }
 
 
@@ -192,6 +214,8 @@ def summarize_cell_safe(
     duration_days: Optional[float],
     seed: int,
     overrides: Optional[Dict] = None,
+    metrics_window: Optional[float] = None,
+    metrics_path: Optional[str] = None,
 ) -> Dict:
     """Run one cell, catching failures so one bad cell cannot sink a sweep.
 
@@ -200,7 +224,13 @@ def summarize_cell_safe(
     the process pool can ship it to workers by reference.
     """
     try:
-        return summarize_cell(name, n_peers, duration_days, seed, overrides)
+        if metrics_window is None:
+            # Legacy call shape, kept so callers (and tests) that stub
+            # summarize_cell with the five-argument signature still work.
+            return summarize_cell(name, n_peers, duration_days, seed, overrides)
+        return summarize_cell(
+            name, n_peers, duration_days, seed, overrides, metrics_window, metrics_path
+        )
     except Exception as exc:  # noqa: BLE001 - any cell failure must be reported
         return {
             "scenario": name,
@@ -226,13 +256,15 @@ def cell_key(
     duration_days: float,
     seed: int,
     overrides: Optional[Dict] = None,
+    metrics_window: Optional[float] = None,
 ) -> str:
     """Content address of one sweep cell.
 
     A hash over everything that determines the cell's result: the resolved
-    scenario coordinates, the builder overrides, plus the cell schema
-    version, so cells written by an older summary format (or under different
-    ``--set`` values) are never reused by ``--resume``.
+    scenario coordinates, the builder overrides, the metrics configuration,
+    plus the cell schema version, so cells written by an older summary format
+    (or under different ``--set`` / ``--metrics`` values) are never reused by
+    ``--resume``.
     """
     payload = {
         "schema": CELL_SCHEMA,
@@ -241,6 +273,7 @@ def cell_key(
         "duration_days": duration_days,
         "seed": seed,
         "overrides": dict(sorted(overrides.items())) if overrides else {},
+        "obs": {"window": metrics_window} if metrics_window is not None else None,
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -254,20 +287,24 @@ def _resolve_cell(
     duration_days: Optional[float],
     seed: int,
     overrides: Optional[Dict] = None,
+    metrics_window: Optional[float] = None,
 ) -> Dict:
     """One planned cell with its defaults resolved, filename, and key."""
     spec = scenario(name)
     peers = n_peers if n_peers is not None else spec.default_peers
     days = duration_days if duration_days is not None else spec.default_duration_days
-    return {
+    cell = {
         "scenario": spec.name,
         "n_peers": peers,
         "duration_days": days,
         "seed": seed,
         "overrides": dict(sorted(overrides.items())) if overrides else {},
         "file": f"{spec.name}__n{peers}__s{seed}.json",
-        "key": cell_key(spec.name, peers, days, seed, overrides),
+        "key": cell_key(spec.name, peers, days, seed, overrides, metrics_window),
     }
+    if metrics_window is not None:
+        cell["metrics_file"] = f"{spec.name}__n{peers}__s{seed}__metrics.jsonl"
+    return cell
 
 
 def _manifest_payload(planned: Sequence[Dict]) -> Dict:
@@ -327,6 +364,8 @@ def run_sweep(
     force: bool = False,
     resume: bool = False,
     overrides: Optional[Dict] = None,
+    metrics_window: Optional[float] = None,
+    progress: Optional[bool] = None,
 ) -> Tuple[List[Dict], List[Dict]]:
     """Run the cartesian sweep and write all artifacts into ``out_dir``.
 
@@ -334,7 +373,7 @@ def run_sweep(
     order) is scenarios × populations × seeds as given — deterministic for a
     given flag set even when the cells themselves run in parallel workers.
     A non-empty ``out_dir`` is refused unless ``force`` or ``resume`` is set:
-    ``force`` deletes the previous run's artifacts (``*.json``,
+    ``force`` deletes the previous run's artifacts (``*.json``, ``*.jsonl``,
     ``sweep_table.txt``) up front, so a re-run can never silently mix stale
     and fresh cell JSON; ``resume`` instead reuses every completed cell whose
     content address matches the manifest of the interrupted run and only
@@ -342,13 +381,21 @@ def run_sweep(
     (checkpointing), and the aggregate artifacts are rebuilt from the full
     reused + fresh set, so an interrupted sweep resumed with the same flags
     produces byte-identical artifacts to an uninterrupted one.
+
+    ``metrics_window`` attaches the streaming-metrics runtime to every cell:
+    each cell writes a ``*__metrics.jsonl`` time series next to its summary
+    and the summary gains a ``metrics`` block.  ``progress`` (default: on
+    when stderr is a TTY) prints a heartbeat to stderr as cells complete —
+    cells done/total, cumulative events/sec, ETA — and enables the per-cell
+    engine tracer (:mod:`repro.obs.trace`) inside the workers.  Neither knob
+    touches the artifacts' bytes beyond the metrics block itself.
     """
     for name in scenario_names:
         # Fail fast on unknown names and unknown override keys (the shared
         # ScenarioSpec validation), before any simulation.
         scenario(name).validate_overrides(overrides)
     planned = [
-        _resolve_cell(name, peers, duration_days, seed, overrides)
+        _resolve_cell(name, peers, duration_days, seed, overrides, metrics_window)
         for name in scenario_names
         for peers in peers_list
         for seed in seeds
@@ -366,7 +413,11 @@ def run_sweep(
             )
         else:
             for name in os.listdir(out_dir):
-                if name.endswith(".json") or name == "sweep_table.txt":
+                if (
+                    name.endswith(".json")
+                    or name.endswith(".jsonl")
+                    or name == "sweep_table.txt"
+                ):
                     os.remove(os.path.join(out_dir, name))
     os.makedirs(out_dir, exist_ok=True)
     # The manifest goes down before any cell runs: a killed sweep leaves
@@ -381,18 +432,52 @@ def run_sweep(
             planned[index]["duration_days"],
             planned[index]["seed"],
             planned[index]["overrides"],
+            metrics_window,
+            os.path.join(out_dir, planned[index]["metrics_file"])
+            if metrics_window is not None
+            else None,
         )
         for index in todo
     ]
 
-    def _checkpoint(position: int, outcome: Dict) -> None:
-        if "error" in outcome:
-            return
-        _write_json(os.path.join(out_dir, cell_filename(outcome)), outcome)
+    show_progress = sys.stderr.isatty() if progress is None else progress
+    started = time.perf_counter()
+    heartbeat = {"cells": 0, "events": 0}
 
-    outcomes: List[Dict] = run_cells(
-        summarize_cell_safe, cells, workers, on_result=_checkpoint
-    )
+    def _checkpoint(position: int, outcome: Dict) -> None:
+        heartbeat["cells"] += 1
+        heartbeat["events"] += int(outcome.get("events_processed", 0) or 0)
+        if "error" not in outcome:
+            _write_json(os.path.join(out_dir, cell_filename(outcome)), outcome)
+        if show_progress:
+            # Heartbeat only — wall-clock never reaches the artifacts.
+            elapsed = max(time.perf_counter() - started, 1e-9)
+            remaining = len(todo) - heartbeat["cells"]
+            eta = elapsed / heartbeat["cells"] * remaining
+            print(
+                f"sweep: {heartbeat['cells'] + len(completed)}/{len(planned)} cells  "
+                f"{format_count(heartbeat['events'])} events  "
+                f"{format_count(int(heartbeat['events'] / elapsed))} ev/s  "
+                f"ETA {eta:.0f}s",
+                file=sys.stderr,
+            )
+            sys.stderr.flush()
+
+    # With progress on, the workers (fork-based, so they inherit the env)
+    # also trace per-cell engine progress once per simulated hour.
+    env_before = os.environ.get(PROGRESS_ENV)
+    if show_progress:
+        os.environ[PROGRESS_ENV] = "1"
+    try:
+        outcomes: List[Dict] = run_cells(
+            summarize_cell_safe, cells, workers, on_result=_checkpoint
+        )
+    finally:
+        if show_progress:
+            if env_before is None:
+                os.environ.pop(PROGRESS_ENV, None)
+            else:
+                os.environ[PROGRESS_ENV] = env_before
     merged: List[Optional[Dict]] = [None] * len(planned)
     for index, summary in completed.items():
         merged[index] = summary
@@ -484,6 +569,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: REPRO_BENCH_WORKERS or 1)",
     )
     parser.add_argument(
+        "--metrics", action="store_true",
+        help=(
+            "stream per-cell metrics: each cell writes a *__metrics.jsonl "
+            "time series (one line per closed window) next to its summary, "
+            "and the summary gains a 'metrics' block"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-window", type=float, default=None, metavar="SECONDS",
+        help=(
+            "metrics window length in simulated seconds (implies --metrics; "
+            "default with bare --metrics: 300)"
+        ),
+    )
+    parser.add_argument(
+        "--progress", action=argparse.BooleanOptionalAction, default=None,
+        help=(
+            "heartbeat to stderr as cells complete (done/total, events/sec, "
+            "ETA) plus per-cell engine tracing; default: on when stderr is "
+            "a TTY"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true",
         help="list the registered scenarios and exit",
     )
@@ -524,12 +632,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.force and args.resume:
         parser.error("--force and --resume are mutually exclusive")
     overrides: Dict[str, object] = dict(args.overrides)
+    metrics_window: Optional[float] = None
+    if args.metrics or args.metrics_window is not None:
+        metrics_window = args.metrics_window if args.metrics_window is not None else 300.0
+        if metrics_window <= 0:
+            parser.error("--metrics-window must be positive")
 
     try:
         summaries, failures = run_sweep(
             names, seeds, peers_list, args.duration, args.out,
             workers=args.workers, force=args.force, resume=args.resume,
-            overrides=overrides,
+            overrides=overrides, metrics_window=metrics_window,
+            progress=args.progress,
         )
     except (SweepOutputError, UnknownOverrideError) as exc:
         print(f"error: {exc}", file=sys.stderr)

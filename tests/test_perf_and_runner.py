@@ -8,6 +8,7 @@ must not change a single count.
 
 import json
 
+import pytest
 
 from repro import perf
 from repro.experiments.runner import (
@@ -84,6 +85,37 @@ class TestPerfModule:
         loaded = perf.load_snapshot(path)
         assert loaded == json.loads(json.dumps(payload))
         assert [p["period_id"] for p in loaded["periods"]] == ["P1", "P3"]
+
+    def test_load_snapshot_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not_a_snapshot.json"
+        path.write_text(json.dumps({"periods": []}))
+        with pytest.raises(perf.SnapshotSchemaError) as excinfo:
+            perf.load_snapshot(str(path))
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "missing 'schema'" in message
+        assert perf.SNAPSHOT_SCHEMA in message
+
+    def test_load_snapshot_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "repro-bench-scaling/1"}))
+        with pytest.raises(perf.SnapshotSchemaError) as excinfo:
+            perf.load_snapshot(str(path))
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "repro-bench-scaling/1" in message
+        assert perf.SNAPSHOT_SCHEMA in message
+
+    def test_load_snapshot_custom_and_relaxed_schema(self, tmp_path):
+        path = tmp_path / "scaling.json"
+        path.write_text(json.dumps({"schema": "repro-bench-scaling/1"}))
+        loaded = perf.load_snapshot(str(path), expected_schema="repro-bench-scaling/1")
+        assert loaded["schema"] == "repro-bench-scaling/1"
+        # None skips the exact match but still demands the field itself.
+        assert perf.load_snapshot(str(path), expected_schema=None) == loaded
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(perf.SnapshotSchemaError):
+            perf.load_snapshot(str(path), expected_schema=None)
 
 
 class TestParallelRunner:
