@@ -18,10 +18,11 @@ from repro.analysis.attack_report import attack_headline
 from repro.analysis.reachability_report import reachability_headline
 from repro.analysis.resilience_report import resilience_headline
 from repro.analysis.tables import TextTable, format_count
+from repro.analysis.trace_report import tracing_headline
 from repro.analysis.transfer_report import transfer_headline
 
-#: schema tags of the sweep artifacts (cell /3: streaming-metrics block)
-CELL_SCHEMA = "repro-sweep-cell/3"
+#: schema tags of the sweep artifacts (cell /4: causal-tracing block)
+CELL_SCHEMA = "repro-sweep-cell/4"
 SWEEP_SCHEMA = "repro-sweep/1"
 
 
@@ -91,6 +92,13 @@ def aggregate_payload(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) 
         "metric_observations": sum(
             s["metrics"]["observations"] for s in summaries if s.get("metrics")
         ),
+        # Cells run without --trace carry "tracing": null (same discipline).
+        "traced_ops": sum(
+            sum(s["tracing"]["ops"].values()) for s in summaries if s.get("tracing")
+        ),
+        "traces": sum(
+            s["tracing"]["traces"] for s in summaries if s.get("tracing")
+        ),
     }
     return {
         "schema": SWEEP_SCHEMA,
@@ -107,7 +115,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
             "Scenario", "Peers", "Seed", "Events", "Dataset",
             "PIDs", "Conns", "Avg dur (s)", "Trim share", "Queries",
             "Retr", "Retr OK", "Atk", "Attack", "Unreach", "Net",
-            "Faults", "Resil", "Xfers", "Data plane",
+            "Faults", "Resil", "Xfers", "Data plane", "Traces", "Crit path",
         ],
         title="Scenario sweep",
     )
@@ -120,6 +128,7 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
         netmodel = summary.get("netmodel")
         resilience = summary.get("resilience")
         bandwidth = summary.get("bandwidth")
+        tracing = summary.get("tracing")
         faulted = (
             resilience["rpc"]["lost"]
             + resilience["rpc"]["partitioned"]
@@ -149,6 +158,8 @@ def aggregate_table(summaries: Sequence[Dict]) -> TextTable:
             resilience_headline(resilience),
             format_count(bandwidth["transfers"]) if bandwidth else "-",
             transfer_headline(bandwidth),
+            format_count(tracing["traces"]) if tracing else "-",
+            tracing_headline(tracing),
         )
     return table
 
@@ -192,6 +203,11 @@ def render_aggregate(summaries: Sequence[Dict], failures: Sequence[Dict] = ()) -
         totals_line += (
             f", {format_count(totals['metric_observations'])} metric observations "
             f"in {format_count(totals['metric_windows'])} windows"
+        )
+    if totals["traces"]:
+        totals_line += (
+            f", {format_count(totals['traces'])} traces of "
+            f"{format_count(totals['traced_ops'])} traced ops"
         )
     lines.append(totals_line)
     for failure in failures:

@@ -56,7 +56,7 @@ class RetryPolicy:
 class RetryState:
     """One walk's retry executor; hand it to the walk as ``retry=``."""
 
-    __slots__ = ("policy", "rng", "clock", "stats")
+    __slots__ = ("policy", "rng", "clock", "stats", "tracer")
 
     def __init__(
         self,
@@ -64,11 +64,16 @@ class RetryState:
         rng: random.Random,
         clock: Optional[Any] = None,
         stats: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.policy = policy
         self.rng = rng
         self.clock = clock
         self.stats = stats
+        #: span tracer of the enclosing traced operation (duck-typed
+        #: :class:`~repro.obs.spans.SpanTracer`); records charged backoff as
+        #: leaves and stamps re-issued RPC leaves with their attempt number
+        self.tracer = tracer
 
     def call(self, fn: Callable[..., Any], *args: Any) -> Any:
         """Run ``fn(*args)``, retrying ``None`` results with backoff.
@@ -80,6 +85,7 @@ class RetryState:
         attempts are abandoned rather than burning more budget.
         """
         stats = self.stats
+        tracer = self.tracer
         if stats is not None:
             stats.retry_calls += 1
         result = fn(*args)
@@ -90,12 +96,20 @@ class RetryState:
                 # The backoff wait burns walk budget; if it (or earlier RPCs)
                 # spent the budget, abandon the remaining attempts.
                 self.clock.elapsed += delay
+                if tracer is not None:
+                    # Only clocked backoff is part of the measured latency,
+                    # so only clocked backoff becomes a leaf.
+                    tracer.backoff(delay, attempt)
                 if self.clock.expired():
                     break
             attempt += 1
             if stats is not None:
                 stats.retry_extra += 1
+            if tracer is not None:
+                tracer.set_attempt(attempt - 1)
             result = fn(*args)
             if result is not None and stats is not None:
                 stats.retry_recoveries += 1
+        if tracer is not None:
+            tracer.set_attempt(0)
         return result

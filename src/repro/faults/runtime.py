@@ -349,11 +349,18 @@ class FaultRuntime(FabricRuntime):
 
     # ---------------------------------------------------------------- resilience ----
 
-    def retry_state(self, clock=None) -> Optional[RetryState]:
-        """A fresh per-walk retry executor (None when no policy is configured)."""
+    def retry_state(self, clock=None, tracer=None) -> Optional[RetryState]:
+        """A fresh per-walk retry executor (None when no policy is configured).
+
+        ``tracer`` (a :class:`~repro.obs.spans.SpanTracer` with an open
+        operation) makes charged backoff and retry attempts visible as span
+        leaves; it never changes what the executor does.
+        """
         if self.config.retry is None:
             return None
-        return RetryState(self.config.retry, self.rng, clock=clock, stats=self.stats)
+        return RetryState(
+            self.config.retry, self.rng, clock=clock, stats=self.stats, tracer=tracer
+        )
 
     # -- FabricRuntime hooks ---------------------------------------------------------
 

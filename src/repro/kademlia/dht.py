@@ -111,6 +111,7 @@ def iterative_lookup(
     stop: Optional[Callable[[], bool]] = None,
     give_up: Optional[Callable[[], bool]] = None,
     retry=None,
+    trace=None,
 ) -> LookupResult:
     """Iteratively converge on the ``count`` peers closest to ``target``.
 
@@ -127,7 +128,10 @@ def iterative_lookup(
     satisfied early stop.  ``retry`` is an optional duck-typed executor with
     a ``call(fn, *args)`` method (:class:`repro.faults.retry.RetryState`)
     that re-issues ``None``-answered queries with backoff; ``None`` keeps the
-    single-shot behaviour.
+    single-shot behaviour.  ``trace`` is an optional duck-typed span tracer
+    (:class:`repro.obs.spans.SpanTracer`) whose ``hop(n)`` is told the
+    current batch number so the fabric's RPC leaves carry it; the walk never
+    reads anything back from it.
     """
     candidates: Set[PeerId] = set(seeds)
     if self_id is not None:
@@ -152,6 +156,8 @@ def iterative_lookup(
         batch = remaining[: min(alpha, budget)]
         progressed = False
         hops += 1
+        if trace is not None:
+            trace.hop(hops)
         for peer in batch:
             queried.add(peer)
             if retry is None:
@@ -205,12 +211,14 @@ def iterative_provide(
     on_found: Optional[Callable[[PeerId], None]] = None,
     give_up: Optional[Callable[[], bool]] = None,
     retry=None,
+    trace=None,
 ) -> ProvideResult:
     """Publish a provider record: converge on ``key`` and store the record on
     the ``replication`` closest servers that accept it.  A walk abandoned by
     ``give_up`` still stores on the closest servers found so far.  ``retry``
     (duck-typed, see :func:`iterative_lookup`) re-issues lost queries and
-    lost store RPCs with backoff."""
+    lost store RPCs with backoff; ``trace`` annotates the walk's RPC leaves
+    with their hop number (0 marks the store phase)."""
     lookup = iterative_lookup(
         key,
         query,
@@ -222,8 +230,11 @@ def iterative_provide(
         on_found=on_found,
         give_up=give_up,
         retry=retry,
+        trace=trace,
     )
     stored_on: List[PeerId] = []
+    if trace is not None:
+        trace.hop(0)
     for peer in lookup.closest:
         if len(stored_on) >= replication:
             break
@@ -248,6 +259,7 @@ def iterative_find_providers(
     on_found: Optional[Callable[[PeerId], None]] = None,
     give_up: Optional[Callable[[], bool]] = None,
     retry=None,
+    trace=None,
 ) -> FindProvidersResult:
     """Resolve the providers of ``key``.
 
@@ -284,6 +296,7 @@ def iterative_find_providers(
         stop=lambda: len(providers) >= max_providers,
         give_up=give_up,
         retry=retry,
+        trace=trace,
     )
     return FindProvidersResult(
         key=key,

@@ -11,11 +11,21 @@ in-memory result:
   fabric through the :class:`~repro.simulation.fabric.FabricRuntime` protocol
   (dials, RPCs, contacts, identify exchanges) plus windowed deltas of the
   sibling runtimes' totals.
+* :mod:`repro.obs.spans` — :class:`SpanTracer`: causal span trees for every
+  traced operation (retrievals, provides, identify exchanges, crawler
+  walks), deterministically sampled per operation key and riding the
+  simulated clocks only.
+* :mod:`repro.obs.trace_export` — the single render path behind the
+  byte-identical ``traces.jsonl``, the picklable :class:`TraceSummary`, the
+  shard merge, and the shared critical-path decomposition.
+* :mod:`repro.obs.critical_path` — ``python -m repro.obs.critical_path``:
+  top-k slowest traces printed as indented trees with attribution.
 * :mod:`repro.obs.trace` — wall-clock run tracing on the engines' progress
   hooks (stderr only; never part of the deterministic artifacts).
 
-Enable by setting ``PopulationConfig.obs`` to an :class:`ObsConfig`; the
-default ``None`` keeps every pre-existing fixed-seed golden byte-identical.
+Enable by setting ``PopulationConfig.obs`` to an :class:`ObsConfig` and/or
+``PopulationConfig.trace`` to a :class:`TraceConfig`; the default ``None``
+keeps every pre-existing fixed-seed golden byte-identical.
 """
 
 from repro.obs.config import ObsConfig
@@ -28,6 +38,16 @@ from repro.obs.hub import (
     render_line,
     write_jsonl,
 )
+from repro.obs.spans import SpanTracer, TraceConfig
+from repro.obs.trace_export import (
+    TRACE_SCHEMA,
+    TraceSummary,
+    leaf_attribution,
+    merge_trace_summaries,
+    read_traces,
+    render_trace_line,
+    write_traces,
+)
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS",
@@ -35,7 +55,16 @@ __all__ = [
     "MetricsHub",
     "MetricsSummary",
     "ObsConfig",
+    "SpanTracer",
+    "TRACE_SCHEMA",
+    "TraceConfig",
+    "TraceSummary",
+    "leaf_attribution",
     "merge_summaries",
+    "merge_trace_summaries",
+    "read_traces",
     "render_line",
+    "render_trace_line",
     "write_jsonl",
+    "write_traces",
 ]

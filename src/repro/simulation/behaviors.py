@@ -250,6 +250,13 @@ class ContentBehaviors:
         faults = network.faults
         key = self.catalog.key(item)
         clock = network.netmodel_clock(peer)
+        tracer = network.tracer
+        if tracer is not None:
+            tracer.begin(
+                "content.republish" if republish else "content.provide",
+                peer.profile.peer_index,
+            )
+            tracer.push("walk", "walk")
         if clock is None:
             if faults is None:
                 query = network.dht_query
@@ -266,7 +273,7 @@ class ContentBehaviors:
                 add = lambda remote, k, p: network.add_provider(  # noqa: E731
                     remote, k, p, config.provider_ttl, src=peer
                 )
-                retry = faults.retry_state()
+                retry = faults.retry_state(tracer=tracer)
             result = iterative_provide(
                 key,
                 query,
@@ -276,12 +283,19 @@ class ContentBehaviors:
                 replication=config.replication,
                 max_queries=config.max_queries,
                 retry=retry,
+                trace=tracer,
             )
             latency = self._lookup_latency(result.hops)
+            if tracer is not None:
+                # The idealised fabric draws the walk latency synthetically;
+                # one leaf carries it so per-trace attribution still sums to
+                # the measured latency.
+                tracer.leaf("lookup", "walk", latency, hops=result.hops)
+                tracer.pop(latency)
         else:
             # Under a netmodel the walk accrues real simulated time (RTTs and
             # failed-dial timeouts) and gives up once the budget is spent.
-            retry = None if faults is None else faults.retry_state(clock)
+            retry = None if faults is None else faults.retry_state(clock, tracer=tracer)
             result = iterative_provide(
                 key,
                 network.timed_query_fn(clock, src=peer),
@@ -292,8 +306,11 @@ class ContentBehaviors:
                 max_queries=config.max_queries,
                 give_up=clock.expired,
                 retry=retry,
+                trace=tracer,
             )
             latency = clock.finish()
+            if tracer is not None:
+                tracer.pop(latency, hops=result.hops)
         if faults is not None:
             self._published.setdefault(peer.profile.peer_index, set()).add(item)
         peer.ensure_bitswap().add_block(self.catalog.cid(item), self.catalog.block(item))
@@ -314,6 +331,14 @@ class ContentBehaviors:
             )
             if not republish:
                 network.obs.hub.observe("content.provide_seconds", now, latency)
+        if tracer is not None:
+            tracer.finish_root(
+                latency,
+                failed=not result.succeeded(),
+                timed_out=clock is not None and clock.expired(),
+                hops=result.hops,
+                stored=len(result.stored_on),
+            )
         if config.republish_interval is not None:
             if self.engine.now + config.republish_interval <= self._duration:
                 self.engine.schedule_drop(
@@ -359,6 +384,10 @@ class ContentBehaviors:
         key = self.catalog.key(item)
         faults = network.faults
         clock = network.netmodel_clock(peer)
+        tracer = network.tracer
+        if tracer is not None:
+            tracer.begin("content.retrieve", peer.profile.peer_index)
+            tracer.push("walk", "walk")
         if clock is None:
             if faults is None:
                 get_providers = network.get_providers
@@ -367,7 +396,7 @@ class ContentBehaviors:
                 get_providers = lambda remote, k: network.get_providers(  # noqa: E731
                     remote, k, src=peer
                 )
-                retry = faults.retry_state()
+                retry = faults.retry_state(tracer=tracer)
             result = iterative_find_providers(
                 key,
                 get_providers,
@@ -376,10 +405,16 @@ class ContentBehaviors:
                 max_queries=config.max_queries,
                 max_providers=config.max_providers,
                 retry=retry,
+                trace=tracer,
             )
             latency = self._lookup_latency(result.hops)
+            if tracer is not None:
+                # Synthetic walk latency on the idealised fabric: one leaf
+                # carries it so per-trace attribution still sums.
+                tracer.leaf("lookup", "walk", latency, hops=result.hops)
+                tracer.pop(latency)
         else:
-            retry = None if faults is None else faults.retry_state(clock)
+            retry = None if faults is None else faults.retry_state(clock, tracer=tracer)
             result = iterative_find_providers(
                 key,
                 network.timed_get_providers_fn(clock, src=peer),
@@ -389,8 +424,11 @@ class ContentBehaviors:
                 max_providers=config.max_providers,
                 give_up=clock.expired,
                 retry=retry,
+                trace=tracer,
             )
             latency = clock.finish()
+            if tracer is not None:
+                tracer.pop(latency, hops=result.hops)
         success = False
         for pid in result.providers:
             provider = network.peers_by_pid.get(pid)
@@ -410,7 +448,10 @@ class ContentBehaviors:
             if network.netmodel is not None and not network.netmodel.dial(provider.net):
                 # A NATed provider holds the block but cannot be fetched from;
                 # the failed dial still costs the same timeout a walk pays.
-                latency += network.netmodel.config.reachability.dial_timeout
+                dial_timeout = network.netmodel.config.reachability.dial_timeout
+                latency += dial_timeout
+                if tracer is not None:
+                    tracer.leaf("provider_dial", "dial", dial_timeout)
                 continue
             bandwidth = network.bandwidth
             plan = None
@@ -432,6 +473,13 @@ class ContentBehaviors:
                     # The provider's uplink (or our downlink) is saturated past
                     # the timeout: give up on this provider and try the next.
                     latency += bandwidth.config.transfer_timeout
+                    if tracer is not None:
+                        tracer.leaf(
+                            "transfer_wait",
+                            "queue",
+                            bandwidth.config.transfer_timeout,
+                            outcome="timeout",
+                        )
                     continue
             if faults is None:
                 block = bitswap.fetch_from(peer.current_pid, pid, provider.bitswap, cid)
@@ -444,23 +492,42 @@ class ContentBehaviors:
                     deliver=lambda p=provider: faults.bitswap_deliver(peer.flt, p.flt),
                     retry=faults.retry_state(),
                 )
-            if block is not None:
-                success = True
-                if plan is not None:
-                    # Real data plane: RTT + queueing + serialization, and the
-                    # links stay busy for everyone behind us.
-                    transfer_seconds = bandwidth.commit_transfer(self.engine.now, plan)
-                    latency += transfer_seconds
-                    if network.obs is not None:
-                        network.obs.hub.observe(
-                            "bandwidth.transfer_seconds", self.engine.now, transfer_seconds
-                        )
-                else:
-                    latency += self.rng.uniform(*config.transfer_latency)
-                    if network.netmodel is not None:
-                        # The Bitswap exchange pays its round trip to the provider.
-                        latency += network.netmodel.rtt(peer.net, provider.net)
-                break
+            if block is None:
+                if tracer is not None:
+                    # The exchange died on the fault gate; no simulated time
+                    # was charged, the leaf just records the failed fetch.
+                    tracer.leaf("bitswap", "transfer", 0.0, outcome="lost")
+                continue
+            success = True
+            if plan is not None:
+                # Real data plane: RTT + queueing + serialization, and the
+                # links stay busy for everyone behind us.
+                transfer_seconds = bandwidth.commit_transfer(self.engine.now, plan)
+                latency += transfer_seconds
+                if tracer is not None:
+                    tracer.transfer(
+                        plan.rtt, plan.queueing, plan.serialization,
+                        transfer_seconds, plan.size,
+                    )
+                if network.obs is not None:
+                    network.obs.hub.observe(
+                        "bandwidth.transfer_seconds", self.engine.now, transfer_seconds
+                    )
+            else:
+                fetch_seconds = self.rng.uniform(*config.transfer_latency)
+                latency += fetch_seconds
+                rtt_seconds = 0.0
+                if network.netmodel is not None:
+                    # The Bitswap exchange pays its round trip to the provider.
+                    rtt_seconds = network.netmodel.rtt(peer.net, provider.net)
+                    latency += rtt_seconds
+                if tracer is not None:
+                    tracer.push("transfer", "transfer")
+                    tracer.leaf("exchange", "transfer", fetch_seconds)
+                    if rtt_seconds:
+                        tracer.leaf("rtt", "transfer", rtt_seconds)
+                    tracer.pop(fetch_seconds + rtt_seconds)
+            break
         stats = self.stats
         stats.retrievals += 1
         if success:
@@ -481,3 +548,11 @@ class ContentBehaviors:
                 "content.retrieve_ok" if success else "content.retrieve_fail", now
             )
             network.obs.hub.observe("content.retrieve_seconds", now, latency)
+        if tracer is not None:
+            tracer.finish_root(
+                latency,
+                failed=not success,
+                timed_out=clock is not None and clock.expired(),
+                hops=result.hops,
+                providers=len(result.providers),
+            )

@@ -123,6 +123,7 @@ class SimPeer:
         "bitswap",
         "attacker",
         "obs",
+        "trc",
         "net",
         "flt",
         "link",
@@ -152,6 +153,9 @@ class SimPeer:
         #: runtime keeps no per-peer state, the slot just satisfies the
         #: fabric-runtime assignment pass
         self.obs = None
+        #: span-tracing assignment (repro.obs.spans), always None — like obs,
+        #: the tracer keeps no per-peer state
+        self.trc = None
         #: network conditions (repro.netmodel), None on the idealised fabric
         self.net = None
         #: fault assignment (repro.faults), None on the fault-free fabric
@@ -290,6 +294,8 @@ class SimulatedNetwork:
         self.runtimes: List[FabricRuntime] = []
         #: streaming-metrics runtime; None runs without observability
         self.obs = None
+        #: causal span tracer; None runs without tracing
+        self.tracer = None
         #: network-conditions runtime; None keeps the idealised fabric
         self.netmodel: Optional[NetModelRuntime] = None
         #: fault-injection runtime; None keeps the fault-free fabric
@@ -303,6 +309,16 @@ class SimulatedNetwork:
             from repro.obs.runtime import MetricsRuntime
 
             self._attach_runtime(MetricsRuntime(obscfg, engine))
+        tracecfg = population.config.trace
+        if tracecfg is not None:
+            # Deliberately NOT on the runtimes ladder: the tracer never
+            # vetoes, charges, or contributes identify delay, so putting it
+            # there would add one no-op Python call to every hook dispatch
+            # on the fabric.  Recording happens only at the explicitly
+            # instrumented call sites below.
+            from repro.obs.spans import SpanTracer
+
+            self.tracer = SpanTracer(tracecfg, engine)
         netcfg = population.config.netmodel
         if netcfg is not None:
             self._attach_runtime(NetModelRuntime(netcfg, population.config.seed))
@@ -609,14 +625,44 @@ class SimulatedNetwork:
         self.peers_by_pid[peer.current_pid] = peer
         for runtime in self.runtimes:
             runtime.note_contact_made(peer)
-        if peer.agent is not None and self.rng.random() < self.config.identify_success:
-            delay = self.rng.uniform(0.5, 5.0)
+        self._schedule_identify(peer, identity)
+        self._plan_connection_end(peer, identity, conn)
+
+    def _schedule_identify(self, peer: SimPeer, identity: MeasurementIdentity) -> None:
+        """Roll the identify exchange and schedule its delivery.
+
+        The RNG draws (success roll, base processing delay) are identical
+        whether or not the tracer is attached; the tracer only *reads* the
+        per-runtime delay contributions while they are summed — identify
+        exchanges cannot fail once scheduled, so their sampling gate runs up
+        front and unsampled ones record nothing.
+        """
+        if peer.agent is None or self.rng.random() >= self.config.identify_success:
+            return
+        base = self.rng.uniform(0.5, 5.0)
+        delay = base
+        tracer = self.tracer
+        if tracer is not None and tracer.begin_identify(
+            identity.label, peer.profile.peer_index
+        ):
+            # Identify is by far the most frequent traced operation, so its
+            # whole span tree is recorded in one composite call: collect the
+            # per-runtime wire-time contributions (round trips, payload
+            # serialization — they ride the same event heap) and hand them
+            # over together with the base processing delay.
+            parts = []
+            for runtime in self.runtimes:
+                extra = runtime.identify_delay(identity.label, peer)
+                delay += extra
+                if extra:
+                    parts.append((runtime.name, extra))
+            tracer.finish_identify(delay, base, parts, identity.label)
+        else:
             for runtime in self.runtimes:
                 # Wire time of the identify exchange (round trips, payload
                 # serialization) rides the same event heap.
                 delay += runtime.identify_delay(identity.label, peer)
-            self.engine.schedule_drop(delay, self._deliver_identify, peer, identity)
-        self._plan_connection_end(peer, identity, conn)
+        self.engine.schedule_drop(delay, self._deliver_identify, peer, identity)
 
     def _deliver_identify(self, peer: SimPeer, identity: MeasurementIdentity) -> None:
         conn = peer.connections.get(identity.label)
@@ -734,11 +780,7 @@ class SimulatedNetwork:
             self.peers_by_pid[peer.current_pid] = peer
             for runtime in self.runtimes:
                 runtime.note_contact_made(peer)
-            if peer.agent is not None and self.rng.random() < self.config.identify_success:
-                delay = self.rng.uniform(0.5, 5.0)
-                for runtime in self.runtimes:
-                    delay += runtime.identify_delay(identity.label, peer)
-                self.engine.schedule_drop(delay, self._deliver_identify, peer, identity)
+            self._schedule_identify(peer, identity)
             # Outbound connections are valued even less by the remote side: we
             # dialled them, they did not ask for us.
             delay = self.config.remote_grace + self.rng.expovariate(
@@ -771,10 +813,34 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
+        tracer = self.tracer
+        if tracer is None or not tracer.recording:
+            for runtime in self.runtimes:
+                if not runtime.on_rpc(src, peer):
+                    return None
+            return self._answer_find_node(peer, target, count)
+        vetoed = self._rpc_vetoed(src, peer)
+        if vetoed is not None:
+            tracer.rpc("find_node", 0.0, self._veto_outcome(vetoed))
+            return None
+        reply = self._answer_find_node(peer, target, count)
+        tracer.rpc("find_node", 0.0, "ok" if reply is not None else "dropped")
+        return reply
+
+    def _rpc_vetoed(self, src: Optional[SimPeer], peer: SimPeer):
+        """Dispatch the on_rpc ladder; return the vetoing runtime, if any.
+
+        Only the traced paths pay for remembering *who* vetoed: a netmodel
+        veto is an undialable peer (the leaf categorises as ``dial``), any
+        other veto died on the wire after dialling.
+        """
         for runtime in self.runtimes:
             if not runtime.on_rpc(src, peer):
-                return None
-        return self._answer_find_node(peer, target, count)
+                return runtime
+        return None
+
+    def _veto_outcome(self, vetoed) -> str:
+        return "dial_fail" if vetoed is self.netmodel else "lost"
 
     def _answer_find_node(
         self, peer: SimPeer, target: int, count: int
@@ -820,10 +886,19 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
-        for runtime in self.runtimes:
-            if not runtime.on_rpc(src, peer):
-                return None
-        return self._answer_add_provider(peer, key, provider, ttl)
+        tracer = self.tracer
+        if tracer is None or not tracer.recording:
+            for runtime in self.runtimes:
+                if not runtime.on_rpc(src, peer):
+                    return None
+            return self._answer_add_provider(peer, key, provider, ttl)
+        vetoed = self._rpc_vetoed(src, peer)
+        if vetoed is not None:
+            tracer.rpc("add_provider", 0.0, self._veto_outcome(vetoed))
+            return None
+        stored = self._answer_add_provider(peer, key, provider, ttl)
+        tracer.rpc("add_provider", 0.0, "ok" if stored is not None else "dropped")
+        return stored
 
     def _answer_add_provider(
         self, peer: SimPeer, key: int, provider: PeerId, ttl: float
@@ -852,10 +927,19 @@ class SimulatedNetwork:
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
-        for runtime in self.runtimes:
-            if not runtime.on_rpc(src, peer):
-                return None
-        return self._answer_get_providers(peer, key, count)
+        tracer = self.tracer
+        if tracer is None or not tracer.recording:
+            for runtime in self.runtimes:
+                if not runtime.on_rpc(src, peer):
+                    return None
+            return self._answer_get_providers(peer, key, count)
+        vetoed = self._rpc_vetoed(src, peer)
+        if vetoed is not None:
+            tracer.rpc("get_providers", 0.0, self._veto_outcome(vetoed))
+            return None
+        reply = self._answer_get_providers(peer, key, count)
+        tracer.rpc("get_providers", 0.0, "ok" if reply is not None else "dropped")
+        return reply
 
     def _answer_get_providers(
         self, peer: SimPeer, key: int, count: int = 20
@@ -885,7 +969,11 @@ class SimulatedNetwork:
         return self.netmodel.clock(peer.net)
 
     def _timed_peer(
-        self, clock: WalkClock, remote: PeerId, src: Optional[SimPeer] = None
+        self,
+        clock: WalkClock,
+        remote: PeerId,
+        src: Optional[SimPeer] = None,
+        kind: str = "find_node",
     ) -> Optional[SimPeer]:
         """Resolve a timed RPC's target and charge the wire time.
 
@@ -896,20 +984,37 @@ class SimulatedNetwork:
         Under fault injection a slow responder additionally burns its RTT
         spike, and a lost/partitioned exchange answers nothing after paying
         the wire time (the caller waited for a reply that never came).
+
+        When an operation is being traced, the RPC becomes a leaf span whose
+        duration is the clock delta around this dispatch — leaf durations
+        therefore telescope exactly to the walk's accrued latency.
         """
         peer = self.peers_by_pid.get(remote)
         if peer is None or not peer.online or not peer.is_dht_server:
             return None
+        tracer = self.tracer
+        if tracer is None or not tracer.recording:
+            for runtime in self.runtimes:
+                if not runtime.on_timed_rpc(clock, src, peer):
+                    return None
+            return peer
+        before = clock.elapsed
+        vetoed = None
         for runtime in self.runtimes:
             if not runtime.on_timed_rpc(clock, src, peer):
-                return None
-        return peer
+                vetoed = runtime
+                break
+        if vetoed is None:
+            tracer.rpc(kind, clock.elapsed - before, "ok", rtt=clock.last_rtt)
+            return peer
+        tracer.rpc(kind, clock.elapsed - before, self._veto_outcome(vetoed))
+        return None
 
     def timed_query_fn(self, clock: WalkClock, src: Optional[SimPeer] = None):
         """A FIND_NODE query function that accrues dial/RTT time on ``clock``."""
 
         def query(remote: PeerId, target: int, count: int) -> Optional[List[PeerId]]:
-            peer = self._timed_peer(clock, remote, src)
+            peer = self._timed_peer(clock, remote, src, kind="find_node")
             if peer is None:
                 return None
             return self._answer_find_node(peer, target, count)
@@ -920,7 +1025,7 @@ class SimulatedNetwork:
         """An ADD_PROVIDER function that accrues dial/RTT time on ``clock``."""
 
         def add_provider(remote: PeerId, key: int, provider: PeerId) -> Optional[bool]:
-            peer = self._timed_peer(clock, remote, src)
+            peer = self._timed_peer(clock, remote, src, kind="add_provider")
             if peer is None:
                 return None
             return self._answer_add_provider(peer, key, provider, ttl)
@@ -933,7 +1038,7 @@ class SimulatedNetwork:
         """A GET_PROVIDERS function that accrues dial/RTT time on ``clock``."""
 
         def get_providers(remote: PeerId, key: int) -> Optional[tuple]:
-            peer = self._timed_peer(clock, remote, src)
+            peer = self._timed_peer(clock, remote, src, kind="get_providers")
             if peer is None:
                 return None
             return self._answer_get_providers(peer, key, count)

@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only (profiles are built lazily)
     from repro.faults.config import FaultConfig
     from repro.netmodel.config import NetModelConfig
     from repro.obs.config import ObsConfig
+    from repro.obs.spans import TraceConfig
 from repro.libp2p.multiaddr import random_public_ipv4
 from repro.libp2p.protocols import (
     crawler_protocols,
@@ -229,6 +230,11 @@ class PopulationConfig:
     #: observes nothing, schedules nothing, and draws nothing from any RNG,
     #: so every pre-existing fixed-seed golden stays byte-identical
     obs: Optional["ObsConfig"] = None
+    #: causal span tracing (per-operation trace trees, deterministic
+    #: sampling, ``traces.jsonl`` export); ``None``, the default, records
+    #: nothing, schedules nothing, and draws nothing from any RNG, so every
+    #: pre-existing fixed-seed golden stays byte-identical
+    trace: Optional["TraceConfig"] = None
 
     def __post_init__(self) -> None:
         if self.n_peers <= 0:

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (bandwidth -> fabric)
     from repro.bandwidth.runtime import BandwidthStats
     from repro.obs.hub import MetricsSummary
+    from repro.obs.trace_export import TraceSummary
 
 from repro.adversary.behaviors import AdversaryBehaviors, AttackStats
 from repro.core.records import MeasurementDataset
@@ -131,6 +132,9 @@ class ScenarioResult:
     #: streaming-metrics digest: windowed counters/gauges/histograms plus the
     #: retained window payloads (None when the scenario ran without obs)
     metrics: Optional[MetricsSummary] = None
+    #: causal span traces: per-operation trace trees plus per-kind counts
+    #: (None when the scenario ran without tracing)
+    spans: Optional[TraceSummary] = None
     #: base58 PID per measurement identity label (analysis needs the vantage
     #: point's keyspace position, e.g. for neighbourhood-density estimates)
     identity_keys: Dict[str, str] = field(default_factory=dict)
@@ -306,6 +310,11 @@ class Scenario:
                 if self.network.obs is not None
                 else None
             ),
+            spans=(
+                self.network.tracer.finalize(config.duration)
+                if self.network.tracer is not None
+                else None
+            ),
             identity_keys={
                 identity.label: str(identity.peer_id) for identity in self.identities
             },
@@ -313,7 +322,23 @@ class Scenario:
 
     def _run_crawl(self, now: float) -> None:
         assert self.crawler is not None
-        self.crawls.add(self.crawler.crawl(now))
+        tracer = self.network.tracer
+        if tracer is None:
+            self.crawls.add(self.crawler.crawl(now))
+            return
+        # A crawl is an instantaneous breadth-first walk over dht_query: its
+        # RPC leaves cost zero simulated seconds, so the trace records reach
+        # (discovered / reachable / queries) rather than latency.
+        tracer.begin("crawler.walk", 0)
+        snapshot = self.crawler.crawl(now)
+        self.crawls.add(snapshot)
+        tracer.finish_root(
+            0.0,
+            discovered=len(snapshot.discovered),
+            reachable=len(snapshot.reachable),
+            unreachable=len(snapshot.unreachable),
+            queries=snapshot.queries_sent,
+        )
 
 
 def make_engine(kind: str) -> Engine:

@@ -42,6 +42,10 @@ Merge rules (also exercised by tests/test_sharded.py):
   same-index windows combine field-wise in shard order and the merged
   ``metrics.jsonl`` is written once after the merge, so the streaming series
   is byte-identical for every worker count.
+* spans (repro.obs.spans) — per-kind operation counts sum, kept traces
+  concatenate in shard order under a re-applied retention cap, and the
+  merged ``traces.jsonl`` is written once after the merge — byte-identical
+  for every worker count.
 """
 
 from __future__ import annotations
@@ -95,12 +99,19 @@ def shard_configs(config) -> List:
         # retains its complete window series in memory, and the merged series
         # is written once by run_sharded_scenario.
         obs = dataclasses.replace(obs, jsonl_path=None, retain_windows=True)
+    trace = config.population.trace
+    if trace is not None:
+        # Same discipline as metrics: shards keep their traces in memory and
+        # the merged traces.jsonl is written once by run_sharded_scenario.
+        trace = dataclasses.replace(trace, jsonl_path=None)
     configs = []
     for index, size in enumerate(sizes):
         seed = shard_seed(config.seed, index)
         population = dataclasses.replace(config.population, n_peers=size, seed=seed)
         if obs is not None:
             population = dataclasses.replace(population, obs=obs)
+        if trace is not None:
+            population = dataclasses.replace(population, trace=trace)
         configs.append(
             dataclasses.replace(
                 config,
@@ -163,6 +174,11 @@ def run_sharded_scenario(config, workers: Optional[int] = None):
             # The shards retained every window for the merge; bound the
             # in-memory view back to what the caller's config asked for.
             merged.metrics = ring_tail(merged.metrics, obs.ring_capacity)
+    trace = config.population.trace
+    if trace is not None and merged.spans is not None and trace.jsonl_path is not None:
+        from repro.obs.trace_export import write_traces
+
+        write_traces(merged.spans.traces, trace.jsonl_path)
     return merged
 
 
@@ -207,6 +223,7 @@ def merge_shard_results(config, results: Sequence) -> "ScenarioResult":  # noqa:
         faults=merge_stats([r.faults for r in results]),
         bandwidth=merge_stats([r.bandwidth for r in results]),
         metrics=_merge_metrics([r.metrics for r in results]),
+        spans=_merge_spans([r.spans for r in results]),
         # Keyspace positions are per-fabric; report the first shard's vantage
         # points (analyses needing all of them can rerun shard_configs()).
         identity_keys=dict(results[0].identity_keys),
@@ -222,6 +239,18 @@ def _merge_metrics(metrics: Sequence) -> Optional["MetricsSummary"]:  # noqa: F8
     from repro.obs.hub import merge_summaries
 
     return merge_summaries(present)
+
+
+def _merge_spans(spans: Sequence) -> Optional["TraceSummary"]:  # noqa: F821
+    """Merge per-shard trace summaries (traces concatenate in shard order and
+    the retention cap is re-applied; see
+    :func:`repro.obs.trace_export.merge_trace_summaries`)."""
+    present = [s for s in spans if s is not None]
+    if not present:
+        return None
+    from repro.obs.trace_export import merge_trace_summaries
+
+    return merge_trace_summaries(present)
 
 
 def merge_datasets(shards: Sequence[MeasurementDataset], label: str) -> MeasurementDataset:

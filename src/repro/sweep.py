@@ -48,10 +48,12 @@ from repro.analysis.sweep_report import (
     render_aggregate,
 )
 from repro.analysis.tables import TextTable, format_count
+from repro.analysis.trace_report import tracing_metrics
 from repro.analysis.transfer_report import transfer_metrics
 from repro.core.churn import connection_statistics, trim_share
 from repro.experiments.runner import run_cells
 from repro.obs.config import ObsConfig
+from repro.obs.spans import TraceConfig
 from repro.obs.trace import PROGRESS_ENV
 from repro.perf import dataset_counts
 from repro.scenarios import run_scenario_by_name, scenario, scenarios
@@ -132,20 +134,24 @@ def summarize_cell(
     overrides: Optional[Dict] = None,
     metrics_window: Optional[float] = None,
     metrics_path: Optional[str] = None,
+    trace_sample: Optional[float] = None,
+    trace_path: Optional[str] = None,
 ) -> Dict:
     """Run one sweep cell and reduce it to a deterministic summary dict.
 
     With ``metrics_window`` set the cell runs with the streaming-metrics
     runtime attached: the windowed time series goes to ``metrics_path``
     (one JSONL line per closed window) and the summary gains a ``metrics``
-    block.  Module-level so the process pool can ship cells to workers by
-    reference; the full :class:`ScenarioResult` stays in the worker, only
-    the summary comes back.
+    block.  ``trace_sample`` likewise attaches the causal span tracer: the
+    sampled trace trees go to ``trace_path`` and the summary gains a
+    ``tracing`` block with critical-path attribution.  Module-level so the
+    process pool can ship cells to workers by reference; the full
+    :class:`ScenarioResult` stays in the worker, only the summary comes back.
     """
     spec = scenario(name)
     peers = n_peers if n_peers is not None else spec.default_peers
     days = duration_days if duration_days is not None else spec.default_duration_days
-    if metrics_window is None:
+    if metrics_window is None and trace_sample is None:
         result = run_scenario_by_name(
             name, n_peers=peers, duration_days=days, seed=seed, overrides=overrides
         )
@@ -153,10 +159,14 @@ def summarize_cell(
         config = build_scenario_config(
             name, n_peers=peers, duration_days=days, seed=seed, overrides=overrides
         )
-        obs = ObsConfig(window=metrics_window, jsonl_path=metrics_path)
-        config = dataclasses.replace(
-            config, population=dataclasses.replace(config.population, obs=obs)
-        )
+        population = config.population
+        if metrics_window is not None:
+            obs = ObsConfig(window=metrics_window, jsonl_path=metrics_path)
+            population = dataclasses.replace(population, obs=obs)
+        if trace_sample is not None:
+            trace = TraceConfig(sample=trace_sample, jsonl_path=trace_path)
+            population = dataclasses.replace(population, trace=trace)
+        config = dataclasses.replace(config, population=population)
         result = run_scenario(config)
     return summarize_result(spec.name, peers, days, seed, result, overrides=overrides)
 
@@ -205,6 +215,7 @@ def summarize_result(
         "resilience": resilience_metrics(result),
         "bandwidth": transfer_metrics(result),
         "metrics": metrics_metrics(result),
+        "tracing": tracing_metrics(result),
     }
 
 
@@ -216,6 +227,8 @@ def summarize_cell_safe(
     overrides: Optional[Dict] = None,
     metrics_window: Optional[float] = None,
     metrics_path: Optional[str] = None,
+    trace_sample: Optional[float] = None,
+    trace_path: Optional[str] = None,
 ) -> Dict:
     """Run one cell, catching failures so one bad cell cannot sink a sweep.
 
@@ -224,12 +237,13 @@ def summarize_cell_safe(
     the process pool can ship it to workers by reference.
     """
     try:
-        if metrics_window is None:
+        if metrics_window is None and trace_sample is None:
             # Legacy call shape, kept so callers (and tests) that stub
             # summarize_cell with the five-argument signature still work.
             return summarize_cell(name, n_peers, duration_days, seed, overrides)
         return summarize_cell(
-            name, n_peers, duration_days, seed, overrides, metrics_window, metrics_path
+            name, n_peers, duration_days, seed, overrides,
+            metrics_window, metrics_path, trace_sample, trace_path,
         )
     except Exception as exc:  # noqa: BLE001 - any cell failure must be reported
         return {
@@ -257,14 +271,15 @@ def cell_key(
     seed: int,
     overrides: Optional[Dict] = None,
     metrics_window: Optional[float] = None,
+    trace_sample: Optional[float] = None,
 ) -> str:
     """Content address of one sweep cell.
 
     A hash over everything that determines the cell's result: the resolved
-    scenario coordinates, the builder overrides, the metrics configuration,
-    plus the cell schema version, so cells written by an older summary format
-    (or under different ``--set`` / ``--metrics`` values) are never reused by
-    ``--resume``.
+    scenario coordinates, the builder overrides, the metrics and tracing
+    configuration, plus the cell schema version, so cells written by an older
+    summary format (or under different ``--set`` / ``--metrics`` / ``--trace``
+    values) are never reused by ``--resume``.
     """
     payload = {
         "schema": CELL_SCHEMA,
@@ -274,6 +289,7 @@ def cell_key(
         "seed": seed,
         "overrides": dict(sorted(overrides.items())) if overrides else {},
         "obs": {"window": metrics_window} if metrics_window is not None else None,
+        "trace": {"sample": trace_sample} if trace_sample is not None else None,
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -288,6 +304,7 @@ def _resolve_cell(
     seed: int,
     overrides: Optional[Dict] = None,
     metrics_window: Optional[float] = None,
+    trace_sample: Optional[float] = None,
 ) -> Dict:
     """One planned cell with its defaults resolved, filename, and key."""
     spec = scenario(name)
@@ -300,10 +317,14 @@ def _resolve_cell(
         "seed": seed,
         "overrides": dict(sorted(overrides.items())) if overrides else {},
         "file": f"{spec.name}__n{peers}__s{seed}.json",
-        "key": cell_key(spec.name, peers, days, seed, overrides, metrics_window),
+        "key": cell_key(
+            spec.name, peers, days, seed, overrides, metrics_window, trace_sample
+        ),
     }
     if metrics_window is not None:
         cell["metrics_file"] = f"{spec.name}__n{peers}__s{seed}__metrics.jsonl"
+    if trace_sample is not None:
+        cell["trace_file"] = f"{spec.name}__n{peers}__s{seed}__traces.jsonl"
     return cell
 
 
@@ -365,6 +386,7 @@ def run_sweep(
     resume: bool = False,
     overrides: Optional[Dict] = None,
     metrics_window: Optional[float] = None,
+    trace_sample: Optional[float] = None,
     progress: Optional[bool] = None,
 ) -> Tuple[List[Dict], List[Dict]]:
     """Run the cartesian sweep and write all artifacts into ``out_dir``.
@@ -384,7 +406,10 @@ def run_sweep(
 
     ``metrics_window`` attaches the streaming-metrics runtime to every cell:
     each cell writes a ``*__metrics.jsonl`` time series next to its summary
-    and the summary gains a ``metrics`` block.  ``progress`` (default: on
+    and the summary gains a ``metrics`` block.  ``trace_sample`` attaches the
+    causal span tracer: each cell writes a ``*__traces.jsonl`` of sampled
+    trace trees and the summary gains a ``tracing`` block with critical-path
+    attribution.  ``progress`` (default: on
     when stderr is a TTY) prints a heartbeat to stderr as cells complete —
     cells done/total, cumulative events/sec, ETA — and enables the per-cell
     engine tracer (:mod:`repro.obs.trace`) inside the workers.  Neither knob
@@ -395,7 +420,9 @@ def run_sweep(
         # ScenarioSpec validation), before any simulation.
         scenario(name).validate_overrides(overrides)
     planned = [
-        _resolve_cell(name, peers, duration_days, seed, overrides, metrics_window)
+        _resolve_cell(
+            name, peers, duration_days, seed, overrides, metrics_window, trace_sample
+        )
         for name in scenario_names
         for peers in peers_list
         for seed in seeds
@@ -435,6 +462,10 @@ def run_sweep(
             metrics_window,
             os.path.join(out_dir, planned[index]["metrics_file"])
             if metrics_window is not None
+            else None,
+            trace_sample,
+            os.path.join(out_dir, planned[index]["trace_file"])
+            if trace_sample is not None
             else None,
         )
         for index in todo
@@ -584,6 +615,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "trace per-cell causal spans: each cell writes a *__traces.jsonl "
+            "of sampled operation trace trees next to its summary, and the "
+            "summary gains a 'tracing' block with critical-path attribution"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample", type=float, default=None, metavar="RATE",
+        help=(
+            "deterministic per-operation trace sampling rate in (0, 1] "
+            "(implies --trace; default with bare --trace: 1.0; failed and "
+            "timed-out operations are always sampled)"
+        ),
+    )
+    parser.add_argument(
         "--progress", action=argparse.BooleanOptionalAction, default=None,
         help=(
             "heartbeat to stderr as cells complete (done/total, events/sec, "
@@ -636,14 +683,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.metrics or args.metrics_window is not None:
         metrics_window = args.metrics_window if args.metrics_window is not None else 300.0
         if metrics_window <= 0:
-            parser.error("--metrics-window must be positive")
+            # Rejected up front, before anything simulates: exit 2, no cells.
+            parser.error(f"--metrics-window must be positive, got {metrics_window}")
+    trace_sample: Optional[float] = None
+    if args.trace or args.trace_sample is not None:
+        trace_sample = args.trace_sample if args.trace_sample is not None else 1.0
+        if not (0.0 < trace_sample <= 1.0):
+            parser.error(f"--trace-sample must be within (0, 1], got {trace_sample}")
 
     try:
         summaries, failures = run_sweep(
             names, seeds, peers_list, args.duration, args.out,
             workers=args.workers, force=args.force, resume=args.resume,
             overrides=overrides, metrics_window=metrics_window,
-            progress=args.progress,
+            trace_sample=trace_sample, progress=args.progress,
         )
     except (SweepOutputError, UnknownOverrideError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -490,3 +490,108 @@ class TestCliParsing:
     def test_summarize_cell_uses_spec_defaults_for_peers(self):
         summary = summarize_cell("p1", None, 0.01, 3)
         assert summary["n_peers"] == 1500  # the period's bench default
+
+
+class TestFlagValidation:
+    """Satellite: malformed observability flags are rejected up front —
+    exit 2 with an error naming the flag and the value, nothing simulated."""
+
+    BASE = [
+        "--scenarios", "p1",
+        "--seeds", "7",
+        "--peers", "30",
+        "--duration", "0.01d",
+    ]
+
+    @pytest.mark.parametrize("window", ["0", "-5"])
+    def test_rejects_nonpositive_metrics_window(self, tmp_path, capsys, window):
+        out = tmp_path / "never"
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.BASE + ["--metrics-window", window, "--out", str(out)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--metrics-window must be positive" in err
+        assert f"got {float(window)}" in err
+        assert not out.exists()  # rejected before anything ran
+
+    @pytest.mark.parametrize("rate", ["0", "-0.1", "1.5"])
+    def test_rejects_trace_sample_outside_unit_interval(self, tmp_path, capsys, rate):
+        out = tmp_path / "never"
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.BASE + ["--trace-sample", rate, "--out", str(out)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--trace-sample must be within (0, 1]" in err
+        assert f"got {float(rate)}" in err
+        assert not out.exists()
+
+
+class TestTracedCells:
+    """--trace: per-cell traces.jsonl plus an embedded 'tracing' block."""
+
+    TRACE_FLAGS = [
+        "--scenarios", "high-latency-retrieval",
+        "--seeds", "7",
+        "--peers", "50",
+        "--duration", "0.02d",
+        "--trace",
+    ]
+
+    @pytest.fixture(scope="class")
+    def traced_sweep(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("traced")
+        assert main(self.TRACE_FLAGS + ["--out", str(out_dir)]) == 0
+        return out_dir
+
+    def test_writes_traces_jsonl_next_to_the_cell(self, traced_sweep):
+        trace_path = traced_sweep / "high-latency-retrieval__n50__s7__traces.jsonl"
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        payloads = [json.loads(line) for line in lines]
+        assert {p["schema"] for p in payloads} == {"repro-traces/1"}
+        # Every embedded "slowest" pointer resolves to a line in the file.
+        with open(traced_sweep / "high-latency-retrieval__n50__s7.json") as handle:
+            summary = json.load(handle)
+        keys = {p["key"] for p in payloads}
+        assert {entry["key"] for entry in summary["tracing"]["slowest"]} <= keys
+
+    def test_cell_embeds_critical_path_attribution(self, traced_sweep):
+        with open(traced_sweep / "high-latency-retrieval__n50__s7.json") as handle:
+            summary = json.load(handle)
+        tracing = summary["tracing"]
+        assert tracing["sample"] == 1.0
+        assert tracing["retrieve_traces"] > 0
+        assert tracing["retrieve_seconds"] > 0
+        # The critical-path shares decompose the whole retrieval latency:
+        # per-trace attribution telescopes to the root, so the fractions sum
+        # to one within the 6-decimal rounding of each share.
+        assert sum(tracing["critical_path"].values()) == pytest.approx(
+            1.0, abs=1e-5
+        )
+        assert tracing["slowest"]
+        assert "Crit path" in (traced_sweep / "sweep_table.txt").read_text()
+
+    def test_untraced_cells_carry_null(self, micro_sweep):
+        with open(micro_sweep / "p1__n50__s7.json") as handle:
+            summary = json.load(handle)
+        assert summary["tracing"] is None
+
+    def test_traced_rerun_is_byte_identical(self, traced_sweep, tmp_path):
+        rerun = tmp_path / "rerun"
+        assert main(self.TRACE_FLAGS + ["--out", str(rerun)]) == 0
+        for name in os.listdir(traced_sweep):
+            assert (traced_sweep / name).read_bytes() == (rerun / name).read_bytes(), (
+                f"{name} differs between identical traced sweeps"
+            )
+
+    def test_trace_sample_implies_trace(self, tmp_path):
+        out = tmp_path / "sampled"
+        assert main([
+            "--scenarios", "p1", "--seeds", "7", "--peers", "30",
+            "--duration", "0.01d", "--trace-sample", "0.25",
+            "--out", str(out),
+        ]) == 0
+        with open(out / "p1__n30__s7.json") as handle:
+            summary = json.load(handle)
+        assert summary["tracing"]["sample"] == 0.25
+        assert (out / "p1__n30__s7__traces.jsonl").exists()
